@@ -1,0 +1,65 @@
+// Shared plumbing for the figure benches: every main-comparison figure
+// (9, 10, 11) is a view of the same four-way experiment, and the
+// hardware-sensitivity figures (12, 13) sweep it across GPU configurations.
+// Rows are produced through the harness result cache, so the expensive full
+// simulations run once per (workload, config, options) no matter which
+// bench binary asks first.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cache.hpp"
+#include "harness/cli.hpp"
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::bench {
+
+/// Collects one comparison row per requested benchmark under `config`.
+inline std::vector<harness::ExperimentRow> collect_rows(
+    const harness::CommonFlags& flags, const sim::GpuConfig& config,
+    const harness::ComparisonOptions& options = {}) {
+  std::vector<harness::ExperimentRow> rows;
+  for (const std::string& name : flags.benchmark_list()) {
+    std::fprintf(stderr, "[bench] %s ...\n", name.c_str());
+    rows.push_back(harness::cached_comparison(name, flags.scale, config, options,
+                                              flags.cache_dir));
+  }
+  return rows;
+}
+
+/// Honors a `--csv PATH` flag by dumping the rows for plotting.
+inline void maybe_write_csv(int argc, char** argv,
+                            std::span<const harness::ExperimentRow> rows) {
+  const std::string path = harness::flag_value(argc, argv, "--csv", "");
+  if (path.empty()) return;
+  if (harness::write_rows_csv_file(rows, path)) {
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+  }
+}
+
+/// The (W, S) sweep of Figs. 12/13: W warps per SM, S SMs.  (48, 14) is the
+/// paper's Table V baseline.
+struct HwConfig {
+  std::uint32_t warps;
+  std::uint32_t sms;
+
+  [[nodiscard]] std::string label() const {
+    return "W" + std::to_string(warps) + "S" + std::to_string(sms);
+  }
+};
+
+inline const std::vector<HwConfig>& hw_sweep() {
+  static const std::vector<HwConfig> configs = {
+      {16, 7}, {32, 14}, {48, 14}, {32, 28}};
+  return configs;
+}
+
+}  // namespace tbp::bench

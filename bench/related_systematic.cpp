@@ -1,0 +1,48 @@
+// Related-work comparison (paper Section VI): systematic (periodic)
+// sampling vs the paper's techniques.  The paper's critique of systematic
+// sampling is twofold: its simulated-instruction count is proportional to
+// program length no matter how regular the kernel is (regular kernels are
+// massively over-sampled relative to what TBPoint needs), and it carries no
+// program knowledge that could explain its errors.  This bench quantifies
+// both claims on the Table VI suite.
+//
+// Flags: --scale N --seed S --benchmarks a,b --no-cache --cache-dir PATH
+#include "../bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbp;
+  const harness::CommonFlags flags = harness::parse_common_flags(argc, argv, {"--csv"});
+  const std::vector<harness::ExperimentRow> rows =
+      bench::collect_rows(flags, sim::fermi_config());
+  bench::maybe_write_csv(argc, argv, rows);
+
+  std::printf(
+      "Related work: systematic (periodic, 1-in-10 units) sampling vs "
+      "Random / TBPoint (scale divisor %u)\n",
+      flags.scale.divisor);
+  harness::TablePrinter table({"benchmark", "type", "sys err%", "sys smp%",
+                               "rnd err%", "rnd smp%", "tbp err%", "tbp smp%"});
+  std::vector<double> sys_err;
+  std::vector<double> sys_smp;
+  for (const harness::ExperimentRow& row : rows) {
+    table.add_row({row.workload, row.irregular ? "I" : "II",
+                   harness::fmt(row.systematic.err_pct, 2),
+                   harness::fmt(row.systematic.sample_pct, 2),
+                   harness::fmt(row.random.err_pct, 2),
+                   harness::fmt(row.random.sample_pct, 2),
+                   harness::fmt(row.tbpoint.err_pct, 2),
+                   harness::fmt(row.tbpoint.sample_pct, 2)});
+    sys_err.push_back(row.systematic.err_pct);
+    sys_smp.push_back(row.systematic.sample_pct);
+  }
+  table.add_separator();
+  table.add_row({"geomean", "", harness::fmt_pct(harness::geomean_pct(sys_err), 2),
+                 harness::fmt_pct(harness::geomean_pct(sys_smp), 2), "", "", "",
+                 ""});
+  table.print();
+  std::printf(
+      "\npaper (Section VI): systematic sampling's cost is proportional to "
+      "program length regardless of regularity — note the flat ~10%% sample "
+      "column vs TBPoint's near-zero samples on regular kernels\n");
+  return 0;
+}

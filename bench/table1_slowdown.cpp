@@ -1,0 +1,79 @@
+// Table I: GPU execution time vs cycle-level simulation time.  The paper
+// quotes NVIDIA Quadro 6000 wall-clock times from Burtscher et al. and an
+// ~80,000x Macsim slowdown.  We cannot run the GPU, so the GPU-time column
+// reproduces the paper's constants while the simulation-time column is
+// *measured*: this host's simulator throughput (warp instructions/second,
+// measured on a calibration launch) extrapolated to each kernel's projected
+// instruction volume at the paper's scale.
+//
+// Flags: --scale N --seed S
+#include <chrono>
+#include <cstdio>
+
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbp;
+  const harness::CommonFlags flags = harness::parse_common_flags(argc, argv);
+
+  // Paper Table I constants (ms on the Quadro 6000) and simulated-time
+  // figures; NB/SP/TSP/DMR have no counterpart in our suite, so this bench
+  // reports the overlapping kernels plus this host's measured rate.
+  struct PaperRow {
+    const char* kernel;
+    double gpu_msec;
+    const char* paper_sim_time;
+  };
+  const PaperRow paper_rows[] = {
+      {"NB", 28557, "3.78 weeks"}, {"SP", 18779, "2.48 weeks"},
+      {"SSSP", 7067, "6.54 days"}, {"PTA", 4485, "4.15 days"},
+      {"TSP", 4456, "4.13 days"},  {"DMR", 3391, "3.14 days"},
+      {"MM", 881, "19.58 hours"},
+  };
+
+  // Measure this build's simulation rate on a calibration workload.
+  const workloads::Workload calib = workloads::make_workload("cfd", flags.scale);
+  sim::GpuSimulator simulator(sim::fermi_config());
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t insts = 0;
+  for (std::size_t l = 0; l < 5 && l < calib.launches.size(); ++l) {
+    insts += simulator.run_launch(*calib.launches[l]).sim_warp_insts;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double insts_per_sec = static_cast<double>(insts) / seconds;
+
+  std::printf("Table I: GPU execution time vs simulation time\n");
+  std::printf("measured simulator rate on this host: %.0f warp insts/sec\n\n",
+              insts_per_sec);
+
+  // A Quadro 6000 sustains very roughly 10^9 warp instructions/second on
+  // these kernels (1.15 GHz x 14 SMs x ~mixed IPC); the slowdown estimate
+  // below uses that to convert the paper's GPU milliseconds into projected
+  // instruction counts for *this* simulator.
+  const double gpu_warp_insts_per_sec = 1.0e9;
+  harness::TablePrinter table({"kernel", "GPU (msec)", "paper sim time",
+                               "this-host sim estimate", "slowdown"});
+  for (const PaperRow& row : paper_rows) {
+    const double projected_insts =
+        row.gpu_msec / 1000.0 * gpu_warp_insts_per_sec;
+    const double est_seconds = projected_insts / insts_per_sec;
+    char estimate[64];
+    if (est_seconds > 2 * 86400) {
+      std::snprintf(estimate, sizeof estimate, "%.2f days", est_seconds / 86400);
+    } else {
+      std::snprintf(estimate, sizeof estimate, "%.2f hours", est_seconds / 3600);
+    }
+    table.add_row({row.kernel, harness::fmt(row.gpu_msec, 0), row.paper_sim_time,
+                   estimate,
+                   harness::fmt(est_seconds * 1000.0 / row.gpu_msec, 0) + "x"});
+  }
+  table.print();
+  std::printf("\npaper reports an ~80,000x Macsim slowdown on Ivy Bridge\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Deep dive into intra-launch sampling on one workload: for each launch the
+// tool prints the homogeneous-region table (region count, coverage, flagged
+// outlier epochs), the block-delimited sampling-unit IPC series of a full
+// simulation, and what TBPoint's sampler did (warming lengths, locked-in
+// IPCs, skipped blocks) — the observability needed to understand a
+// sampling-error number before trusting it.
+//
+// Usage: sampling_deep_dive [workload] [scale-divisor] [max-launches]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/region.hpp"
+#include "core/region_sampler.hpp"
+#include "core/tbpoint.hpp"
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/occupancy.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "hotspot";
+  tbp::workloads::WorkloadScale scale;
+  scale.divisor = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+  const std::size_t max_launches =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 3;
+
+  const tbp::workloads::Workload workload =
+      tbp::workloads::make_workload(name, scale);
+  const tbp::sim::GpuConfig config = tbp::sim::fermi_config();
+  tbp::sim::GpuSimulator simulator(config);
+
+  const std::size_t n_show = std::min(workload.launches.size(), max_launches);
+  for (std::size_t l = 0; l < n_show; ++l) {
+    const auto& launch = *workload.launches[l];
+    const tbp::profile::LaunchProfile profile = tbp::profile::profile_launch(launch);
+    const std::uint32_t occupancy = tbp::trace::system_occupancy(
+        launch.kernel(), config.sm_resources, config.n_sms);
+
+    const tbp::core::RegionIdentification regions =
+        tbp::core::identify_regions(profile, occupancy);
+    std::size_t flagged = 0;
+    for (bool o : regions.epoch_is_outlier) flagged += o;
+    std::printf(
+        "launch %zu: %u blocks, occupancy %u, %zu epochs (%zu outlier-flagged), "
+        "%zu regions covering %llu blocks (%.1f%%)\n",
+        l, launch.n_blocks(), occupancy, regions.epochs.size(), flagged,
+        regions.table.regions().size(),
+        static_cast<unsigned long long>(regions.table.blocks_in_regions()),
+        100.0 * static_cast<double>(regions.table.blocks_in_regions()) /
+            static_cast<double>(launch.n_blocks()));
+    for (const tbp::core::HomogeneousRegion& r : regions.table.regions()) {
+      std::printf("  region %d: blocks [%u, %u] (%u epochs)\n", r.region_id,
+                  r.start_block, r.end_block, r.n_epochs);
+    }
+
+    // Full simulation: the unit IPC series TBPoint would have seen.
+    const tbp::sim::LaunchResult full = simulator.run_launch(launch);
+    std::vector<double> unit_ipcs;
+    for (const auto& unit : full.tb_units) unit_ipcs.push_back(unit.ipc());
+    std::printf("  full: IPC %.3f over %llu cycles, %zu units\n",
+                full.machine_ipc(),
+                static_cast<unsigned long long>(full.cycles), unit_ipcs.size());
+    std::printf("  unit IPCs: ");
+    for (std::size_t u = 0; u < unit_ipcs.size(); ++u) {
+      if (u < 20 || u + 5 >= unit_ipcs.size()) {
+        std::printf("%.2f ", unit_ipcs[u]);
+      } else if (u == 20) {
+        std::printf("... ");
+      }
+    }
+    std::printf("\n");
+
+    // Sampled simulation.
+    tbp::core::RegionSampler sampler(profile, regions.table);
+    tbp::sim::RunOptions options;
+    options.controller = &sampler;
+    const tbp::sim::LaunchResult sampled = simulator.run_launch(launch, options);
+    sampler.finalize();
+    const tbp::core::LaunchPrediction prediction = tbp::core::predict_launch(
+        profile, sampled, sampler.skipped_regions());
+    std::printf("  sampled: %.1f%% of insts simulated, predicted IPC %.3f "
+                "(full %.3f, err %.2f%%)\n",
+                100.0 * prediction.sample_fraction(), prediction.predicted_ipc,
+                full.machine_ipc(),
+                100.0 * std::abs(prediction.predicted_ipc - full.machine_ipc()) /
+                    full.machine_ipc());
+    for (const tbp::core::SkippedRegion& s : sampler.skipped_regions()) {
+      std::printf("    fast-forwarded region %d: %u blocks at locked IPC %.3f\n",
+                  s.region_id, s.n_skipped_blocks, s.predicted_ipc);
+    }
+  }
+  return 0;
+}

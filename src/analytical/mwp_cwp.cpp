@@ -1,0 +1,127 @@
+#include "analytical/mwp_cwp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/occupancy.hpp"
+
+namespace tbp::analytical {
+
+LaunchCharacteristics characterize(const profile::LaunchProfile& launch,
+                                   const trace::KernelInfo& kernel) {
+  LaunchCharacteristics ch;
+  ch.warps_per_block = kernel.warps_per_block();
+  ch.n_blocks = static_cast<std::uint32_t>(launch.blocks.size());
+  const double n_warps =
+      static_cast<double>(ch.n_blocks) * ch.warps_per_block;
+  if (n_warps == 0.0) return ch;
+
+  ch.insts_per_warp =
+      static_cast<double>(launch.total_warp_insts()) / n_warps;
+  ch.mem_requests_per_warp =
+      static_cast<double>(launch.total_mem_requests()) / n_warps;
+  // The profile records requests, not memory instructions; estimate the
+  // instruction count by assuming the launch-average coalescing degree is
+  // at least one line per access.
+  ch.mem_insts_per_warp =
+      std::min(ch.insts_per_warp, ch.mem_requests_per_warp);
+  return ch;
+}
+
+AnalyticalPrediction predict(const LaunchCharacteristics& ch,
+                             const sim::GpuConfig& config) {
+  AnalyticalPrediction out;
+  if (ch.n_blocks == 0 || ch.insts_per_warp <= 0.0) return out;
+
+  const trace::KernelInfo probe{.name = "analytical",
+                                .threads_per_block = ch.warps_per_block * 32,
+                                .registers_per_thread = 20,
+                                .shared_mem_per_block = 4096,
+                                .n_basic_blocks = 1};
+  // Resident warps per SM (N in MWP/CWP terms).
+  const std::uint32_t blocks_per_sm =
+      std::max(1u, trace::sm_occupancy(probe, config.sm_resources));
+  const double n_warps = static_cast<double>(blocks_per_sm) * ch.warps_per_block;
+
+  // Modeled memory round trip: out over the interconnect, L2, DRAM service
+  // (weighted mix of row hits and misses), and back.
+  const double dram_service =
+      0.5 * (config.dram.row_hit_cycles + config.dram.row_miss_cycles) +
+      config.dram.burst_cycles;
+  out.mem_latency = 2.0 * config.lat.interconnect + config.lat.l2_hit +
+                    dram_service;
+
+  // Compute period per warp between two memory instructions (dependent
+  // chain at ALU latency), and total compute cycles of a warp.
+  const double comp_insts = ch.insts_per_warp - ch.mem_insts_per_warp;
+  const double comp_cycles = comp_insts * config.lat.int_alu;
+  const double comp_period =
+      ch.mem_insts_per_warp > 0.0 ? comp_cycles / ch.mem_insts_per_warp
+                                  : comp_cycles;
+
+  // MWP: warps whose memory time overlaps, bounded by bandwidth.  A warp's
+  // memory instruction occupies the SM's share of DRAM for
+  // requests_per_inst * burst * n_sms / n_channels cycles.
+  const double reqs_per_mem_inst =
+      ch.mem_insts_per_warp > 0.0
+          ? ch.mem_requests_per_warp / ch.mem_insts_per_warp
+          : 0.0;
+  const double departure_delay =
+      std::max(1.0, reqs_per_mem_inst * config.dram.burst_cycles *
+                        static_cast<double>(config.n_sms) /
+                        static_cast<double>(config.n_channels));
+  out.mwp = std::min(n_warps, out.mem_latency / departure_delay);
+  out.cwp = comp_period > 0.0
+                ? std::min(n_warps, (comp_period + out.mem_latency) / comp_period)
+                : n_warps;
+
+  // Three first-order lower bounds on per-SM cycles; the binding one names
+  // the regime.
+  const double total_warps_per_sm =
+      static_cast<double>(ch.n_blocks) * ch.warps_per_block /
+      static_cast<double>(config.n_sms);
+  const double total_insts_per_sm = total_warps_per_sm * ch.insts_per_warp;
+  const double total_reqs_per_sm = total_warps_per_sm * ch.mem_requests_per_warp;
+
+  const double issue_bound = total_insts_per_sm;  // 1 warp-inst/cycle front end
+  const double bw_bound = total_reqs_per_sm * departure_delay /
+                          std::max(1.0, 1.0);  // already SM-share scaled
+  const double warp_lifetime =
+      comp_cycles + ch.mem_insts_per_warp * out.mem_latency;
+  const double latency_bound = total_warps_per_sm * warp_lifetime / n_warps;
+
+  double cycles_per_sm = issue_bound;
+  out.regime = AnalyticalPrediction::Regime::kLatencyHidden;
+  if (bw_bound > cycles_per_sm) {
+    cycles_per_sm = bw_bound;
+    out.regime = AnalyticalPrediction::Regime::kBandwidthBound;
+  }
+  if (latency_bound > cycles_per_sm) {
+    cycles_per_sm = latency_bound;
+    out.regime = AnalyticalPrediction::Regime::kLatencyBound;
+  }
+
+  out.predicted_cycles = cycles_per_sm;
+  out.ipc_per_sm = total_insts_per_sm / cycles_per_sm;
+  out.machine_ipc = out.ipc_per_sm * static_cast<double>(config.n_sms);
+  return out;
+}
+
+double predict_application_ipc(const profile::ApplicationProfile& profile,
+                               const trace::KernelInfo& kernel,
+                               const sim::GpuConfig& config) {
+  double total_cycles = 0.0;
+  double total_insts = 0.0;
+  for (const profile::LaunchProfile& launch : profile.launches) {
+    const AnalyticalPrediction p = predict(characterize(launch, kernel), config);
+    if (p.predicted_cycles <= 0.0) continue;
+    total_cycles += p.predicted_cycles;
+    total_insts += static_cast<double>(launch.total_warp_insts()) /
+                   static_cast<double>(config.n_sms);
+  }
+  return total_cycles == 0.0
+             ? 0.0
+             : total_insts / total_cycles * static_cast<double>(config.n_sms);
+}
+
+}  // namespace tbp::analytical

@@ -1,0 +1,66 @@
+// First-order analytical GPU performance model in the MWP/CWP style of
+// Hong & Kim (ISCA 2009) — the paper's reference [15] and the "analytical
+// modeling" alternative its Section VI discusses: trading accuracy for
+// speed in design-space exploration.
+//
+// The model consumes only *profile-level* statistics (instruction mix and
+// memory-request counts per warp — exactly what the functional profiler
+// collects) plus the machine configuration, and predicts per-SM IPC from
+// two quantities:
+//   MWP (memory warps in parallel): how many warps' memory requests the
+//       memory system can overlap, bounded by latency/issue-spacing and by
+//       bandwidth;
+//   CWP (computation warps in parallel): how many warps' compute periods
+//       fit into one memory waiting period.
+// Three regimes follow (bandwidth-saturated, latency-hidden, latency-bound)
+// with a closed-form cycle count each.
+//
+// The bench `related_analytical` compares this model's error against
+// TBPoint's on the Table VI suite: the paper's point is that analytical
+// models are much faster but much less accurate than sampled simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "profile/profiler.hpp"
+#include "sim/config.hpp"
+#include "trace/kernel.hpp"
+
+namespace tbp::analytical {
+
+/// Profile-level inputs for one kernel launch (averages over warps).
+struct LaunchCharacteristics {
+  double insts_per_warp = 0.0;       ///< warp instructions per warp
+  double mem_insts_per_warp = 0.0;   ///< global-memory warp instructions
+  double mem_requests_per_warp = 0.0;  ///< line-level requests (coalescing)
+  std::uint32_t warps_per_block = 8;
+  std::uint32_t n_blocks = 0;
+};
+
+/// Extracts the model inputs from a functional profile.
+[[nodiscard]] LaunchCharacteristics characterize(
+    const profile::LaunchProfile& launch, const trace::KernelInfo& kernel);
+
+struct AnalyticalPrediction {
+  double mwp = 0.0;
+  double cwp = 0.0;
+  double mem_latency = 0.0;        ///< modeled round trip, cycles
+  double ipc_per_sm = 0.0;
+  double machine_ipc = 0.0;        ///< ipc_per_sm * active SMs
+  double predicted_cycles = 0.0;   ///< whole launch
+  enum class Regime { kBandwidthBound, kLatencyHidden, kLatencyBound } regime =
+      Regime::kLatencyHidden;
+};
+
+/// Predicts one launch's performance on `config`.
+[[nodiscard]] AnalyticalPrediction predict(const LaunchCharacteristics& ch,
+                                           const sim::GpuConfig& config);
+
+/// Whole-application machine IPC: per-launch predictions combined by
+/// instruction-weighted cycle counts (the same composition rule as
+/// core::combine_predictions).
+[[nodiscard]] double predict_application_ipc(
+    const profile::ApplicationProfile& profile, const trace::KernelInfo& kernel,
+    const sim::GpuConfig& config);
+
+}  // namespace tbp::analytical

@@ -1,0 +1,46 @@
+// Ideal-SimPoint baseline (paper Section V-A).
+//
+// Basic block vectors are collected for every fixed-size sampling unit
+// *during a full timing simulation* (hence "ideal": on a real GPGPU stack
+// the per-unit BBV of concurrent warps cannot be known without the very
+// simulation one is trying to avoid).  The normalized BBVs are clustered
+// with k-means, k selected by BIC as in the SimPoint tool; each cluster's
+// unit nearest the centroid is its simulation point; overall CPI is the
+// Eq. 1 weighted combination of the simulation points' CPIs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "sim/gpu.hpp"
+
+namespace tbp::baselines {
+
+struct SimpointOptions {
+  std::size_t max_k = 30;
+  double bic_fraction = 0.9;
+  std::uint64_t seed = 0x51a9;
+  cluster::KMeansOptions kmeans;
+};
+
+struct SimpointResult {
+  double predicted_ipc = 0.0;
+  double sample_fraction = 0.0;   ///< simulation-point insts / total insts
+  std::size_t selected_k = 0;
+  std::vector<std::size_t> simulation_points;  ///< unit index per cluster
+  std::vector<double> weights;                 ///< Eq. 1 phase weights
+  std::vector<int> cluster_of_unit;
+};
+
+/// `units` is the concatenation of every launch's fixed-size units in
+/// execution order; each unit must carry its BBV.
+[[nodiscard]] SimpointResult ideal_simpoint(std::span<const sim::FixedUnit> units,
+                                            const SimpointOptions& options = {});
+
+/// The normalized BBV feature of one unit (basic-block instruction counts
+/// divided by the unit's total), exposed for tests and analysis tools.
+[[nodiscard]] cluster::FeatureVector normalized_bbv(const sim::FixedUnit& unit);
+
+}  // namespace tbp::baselines

@@ -1,0 +1,57 @@
+#include "baselines/random_sampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/rng.hpp"
+
+namespace tbp::baselines {
+
+RandomSamplingResult random_sampling(std::span<const sim::FixedUnit> units,
+                                     const RandomSamplingOptions& options) {
+  RandomSamplingResult result;
+  result.n_units_total = units.size();
+  if (units.empty()) return result;
+
+  const auto n_sampled = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             options.sample_fraction * static_cast<double>(units.size()) + 0.5));
+
+  std::vector<std::size_t> order(units.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  stats::Rng rng(options.seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  order.resize(n_sampled);
+  std::sort(order.begin(), order.end());
+  result.sampled_units = std::move(order);
+  result.n_units_sampled = n_sampled;
+
+  std::uint64_t total_insts = 0;
+  for (const sim::FixedUnit& unit : units) total_insts += unit.warp_insts;
+
+  std::uint64_t sampled_insts = 0;
+  double ipc_sum = 0.0;
+  std::size_t ipc_count = 0;
+  for (std::size_t u : result.sampled_units) {
+    sampled_insts += units[u].warp_insts;
+    const double ipc = units[u].ipc();
+    if (ipc > 0.0) {
+      ipc_sum += ipc;
+      ++ipc_count;
+    }
+  }
+  if (ipc_count == 0 || total_insts == 0) return result;
+
+  // Naive estimator: the arithmetic mean of the sampled units' IPCs.  This
+  // is what blind random sampling computes without a model of the program
+  // (the paper gives Random no Eq. 1-style weighting); it is biased
+  // whenever unit IPCs vary — slow units deserve more cycle weight — which
+  // is exactly why the paper's Random baseline fares worst on kernels with
+  // heterogeneous behaviour.
+  result.predicted_ipc = ipc_sum / static_cast<double>(ipc_count);
+  result.sample_fraction = static_cast<double>(sampled_insts) /
+                           static_cast<double>(total_insts);
+  return result;
+}
+
+}  // namespace tbp::baselines

@@ -1,0 +1,37 @@
+// Random sampling baseline (paper Section V-A).
+//
+// A full simulation is carved into fixed-size sampling units; 10% of the
+// units are selected uniformly at random; the application's CPI is
+// estimated from the selected units and scaled to the full instruction
+// count.  Like the paper's setup this baseline *requires* the full
+// simulation it is sampling from, so it reduces nothing by itself — it
+// exists as the accuracy yardstick.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/gpu.hpp"
+
+namespace tbp::baselines {
+
+struct RandomSamplingOptions {
+  double sample_fraction = 0.1;  ///< paper: "randomly select 10% sampling units"
+  std::uint64_t seed = 0x5eed;
+};
+
+struct RandomSamplingResult {
+  double predicted_ipc = 0.0;
+  double sample_fraction = 0.0;  ///< sampled instructions / total instructions
+  std::size_t n_units_total = 0;
+  std::size_t n_units_sampled = 0;
+  std::vector<std::size_t> sampled_units;
+};
+
+/// `units` is the concatenation of every launch's fixed-size units, in
+/// execution order.
+[[nodiscard]] RandomSamplingResult random_sampling(
+    std::span<const sim::FixedUnit> units, const RandomSamplingOptions& options = {});
+
+}  // namespace tbp::baselines

@@ -1,0 +1,44 @@
+// Systematic sampling baseline (paper Section VI, related work).
+//
+// The classic CPU technique the paper contrasts with profiling-based
+// sampling: pick a random starting offset, then take every k-th sampling
+// unit (e.g. simulate 0.1M instructions out of every 10M).  The paper's
+// critique — which this implementation lets the benches quantify — is that
+// (1) the number of simulated instructions is proportional to program
+// length regardless of regularity, so regular kernels are heavily
+// over-sampled, and (2) no program knowledge exists to explain or bound
+// the sampling error.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/gpu.hpp"
+
+namespace tbp::baselines {
+
+struct SystematicSamplingOptions {
+  /// Take one unit out of every `period` units (10 = the paper's example
+  /// ratio of 0.1M simulated per 10M executed).
+  std::size_t period = 10;
+  /// Random starting offset in [0, period); drawn from `seed`.
+  std::uint64_t seed = 0x575;
+};
+
+struct SystematicSamplingResult {
+  double predicted_ipc = 0.0;
+  double sample_fraction = 0.0;
+  std::size_t n_units_total = 0;
+  std::size_t n_units_sampled = 0;
+  std::size_t start_offset = 0;
+  std::vector<std::size_t> sampled_units;
+};
+
+/// `units` is the concatenation of every launch's fixed-size units in
+/// execution order.
+[[nodiscard]] SystematicSamplingResult systematic_sampling(
+    std::span<const sim::FixedUnit> units,
+    const SystematicSamplingOptions& options = {});
+
+}  // namespace tbp::baselines

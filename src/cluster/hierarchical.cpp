@@ -1,0 +1,256 @@
+#include "cluster/hierarchical.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace tbp::cluster {
+namespace {
+
+/// Lance-Williams update for the distance between a freshly merged cluster
+/// (a union b, with leaf counts na, nb) and bystander k.
+[[nodiscard]] double lance_williams(Linkage linkage, double d_ak, double d_bk,
+                                    double na, double nb) noexcept {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(d_ak, d_bk);
+    case Linkage::kComplete:
+      return std::max(d_ak, d_bk);
+    case Linkage::kAverage:
+      return (na * d_ak + nb * d_bk) / (na + nb);
+  }
+  return 0.0;
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) noexcept { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Merge-selection order used when cutting to a fixed cluster count: sort by
+/// (height, creation index).  Children always precede parents in this order
+/// (monotone linkage gives h_child <= h_parent; creation gives i_child <
+/// i_parent), so every prefix is a valid sub-forest.
+[[nodiscard]] std::vector<std::size_t> merge_order_by_height(
+    std::span<const Merge> merges) {
+  std::vector<std::size_t> order(merges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return merges[a].height < merges[b].height;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> Dendrogram::label_components(std::span<const char> keep) const {
+  UnionFind uf(n_leaves_ + merges_.size());
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    const Merge& m = merges_[i];
+    const std::size_t self = n_leaves_ + i;
+    if (keep[i]) {
+      uf.unite(m.left, self);
+      uf.unite(m.right, self);
+    }
+  }
+  // Dense labels in order of each cluster's smallest leaf.
+  std::vector<int> root_to_label(n_leaves_ + merges_.size(), -1);
+  std::vector<int> labels(n_leaves_, -1);
+  int next = 0;
+  for (std::size_t leaf = 0; leaf < n_leaves_; ++leaf) {
+    const std::size_t root = uf.find(leaf);
+    if (root_to_label[root] < 0) root_to_label[root] = next++;
+    labels[leaf] = root_to_label[root];
+  }
+  return labels;
+}
+
+std::vector<int> Dendrogram::cut(double threshold) const {
+  std::vector<char> keep(merges_.size(), 0);
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    keep[i] = merges_[i].height <= threshold ? 1 : 0;
+  }
+  return label_components(keep);
+}
+
+std::vector<int> Dendrogram::cut_k(std::size_t k) const {
+  assert(k >= 1);
+  const std::size_t n_keep = k >= n_leaves_ ? 0 : n_leaves_ - k;
+  const std::vector<std::size_t> order = merge_order_by_height(merges_);
+  std::vector<char> keep(merges_.size(), 0);
+  for (std::size_t i = 0; i < n_keep && i < order.size(); ++i) keep[order[i]] = 1;
+  return label_components(keep);
+}
+
+Dendrogram agglomerate(std::span<const FeatureVector> points, Linkage linkage,
+                       Metric metric) {
+  const std::size_t n = points.size();
+  std::vector<Merge> merges;
+  if (n <= 1) return Dendrogram{n, std::move(merges)};
+  merges.reserve(n - 1);
+
+  // Slot-based state: slot i initially holds leaf i; a merge collapses into
+  // the lower slot and deactivates the other.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = distance(points[i], points[j], metric);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  std::vector<char> active(n, 1);
+  std::vector<double> leaf_count(n, 1.0);
+  std::vector<std::size_t> node_id(n);  // current dendrogram node held by slot
+  std::iota(node_id.begin(), node_id.end(), std::size_t{0});
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t n_active = n;
+  std::size_t scan_start = 0;  // smallest possibly-active slot
+
+  while (n_active > 1) {
+    if (chain.empty()) {
+      while (!active[scan_start]) ++scan_start;
+      chain.push_back(scan_start);
+    }
+    const std::size_t top = chain.back();
+    // Nearest active neighbour of `top`, smallest slot on ties.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t arg = top;
+    const double* drow = dist.data() + top * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == top) continue;
+      if (drow[k] < best) {
+        best = drow[k];
+        arg = k;
+      }
+    }
+    // Prefer the previous chain element on ties: guarantees termination.
+    if (chain.size() >= 2 && dist[top * n + chain[chain.size() - 2]] <= best) {
+      arg = chain[chain.size() - 2];
+      best = dist[top * n + arg];
+    }
+    if (chain.size() >= 2 && arg == chain[chain.size() - 2]) {
+      // Reciprocal nearest neighbours: merge.
+      chain.pop_back();
+      chain.pop_back();
+      const std::size_t a = std::min(top, arg);
+      const std::size_t b = std::max(top, arg);
+      const double na = leaf_count[a];
+      const double nb = leaf_count[b];
+      merges.push_back(Merge{
+          .left = node_id[a],
+          .right = node_id[b],
+          .height = best,
+          .size = static_cast<std::size_t>(na + nb),
+      });
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!active[k] || k == a || k == b) continue;
+        const double d =
+            lance_williams(linkage, dist[a * n + k], dist[b * n + k], na, nb);
+        dist[a * n + k] = d;
+        dist[k * n + a] = d;
+      }
+      active[b] = 0;
+      leaf_count[a] = na + nb;
+      node_id[a] = n + merges.size() - 1;
+      --n_active;
+    } else {
+      chain.push_back(arg);
+    }
+  }
+  return Dendrogram{n, std::move(merges)};
+}
+
+Dendrogram agglomerate_naive(std::span<const FeatureVector> points, Linkage linkage,
+                             Metric metric) {
+  const std::size_t n = points.size();
+  std::vector<Merge> merges;
+  if (n <= 1) return Dendrogram{n, std::move(merges)};
+
+  struct Cluster {
+    std::vector<std::size_t> leaves;
+    std::size_t node_id;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) clusters.push_back({{i}, i});
+
+  const auto linkage_distance = [&](const Cluster& a, const Cluster& b) {
+    double acc = linkage == Linkage::kSingle
+                     ? std::numeric_limits<double>::infinity()
+                     : 0.0;
+    for (std::size_t x : a.leaves) {
+      for (std::size_t y : b.leaves) {
+        const double d = distance(points[x], points[y], metric);
+        switch (linkage) {
+          case Linkage::kSingle:
+            acc = std::min(acc, d);
+            break;
+          case Linkage::kComplete:
+            acc = std::max(acc, d);
+            break;
+          case Linkage::kAverage:
+            acc += d;
+            break;
+        }
+      }
+    }
+    if (linkage == Linkage::kAverage) {
+      acc /= static_cast<double>(a.leaves.size() * b.leaves.size());
+    }
+    return acc;
+  };
+
+  while (clusters.size() > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d = linkage_distance(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    merges.push_back(Merge{
+        .left = clusters[bi].node_id,
+        .right = clusters[bj].node_id,
+        .height = best,
+        .size = clusters[bi].leaves.size() + clusters[bj].leaves.size(),
+    });
+    clusters[bi].leaves.insert(clusters[bi].leaves.end(), clusters[bj].leaves.begin(),
+                               clusters[bj].leaves.end());
+    clusters[bi].node_id = n + merges.size() - 1;
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  return Dendrogram{n, std::move(merges)};
+}
+
+std::vector<int> cluster_by_threshold(std::span<const FeatureVector> points,
+                                      double threshold, Linkage linkage,
+                                      Metric metric) {
+  return agglomerate(points, linkage, metric).cut(threshold);
+}
+
+}  // namespace tbp::cluster

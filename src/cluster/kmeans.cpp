@@ -1,0 +1,231 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace tbp::cluster {
+namespace {
+
+[[nodiscard]] double squared_euclidean(std::span<const double> a,
+                                       std::span<const double> b) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid drawn
+/// with probability proportional to squared distance to the nearest chosen
+/// centroid.
+[[nodiscard]] std::vector<FeatureVector> seed_plus_plus(
+    std::span<const FeatureVector> points, std::size_t k, stats::Rng& rng) {
+  std::vector<FeatureVector> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.below(points.size())]);
+  std::vector<double> d2(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    d2[i] = squared_euclidean(points[i], centroids[0]);
+  }
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (double d : d2) total += d;
+    std::size_t chosen;
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; any point works.
+      chosen = rng.below(points.size());
+    } else {
+      double target = rng.uniform() * total;
+      chosen = points.size() - 1;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        target -= d2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.push_back(points[chosen]);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_euclidean(points[i], centroids.back()));
+    }
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<int> labels;
+  std::vector<FeatureVector> centroids;
+  double inertia;
+};
+
+[[nodiscard]] LloydOutcome lloyd(std::span<const FeatureVector> points,
+                                 std::vector<FeatureVector> centroids,
+                                 std::size_t max_iterations) {
+  const std::size_t n = points.size();
+  const std::size_t k = centroids.size();
+  const std::size_t dims = points[0].size();
+  std::vector<int> labels(n, 0);
+  double inertia = 0.0;
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = iter == 0;
+    inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int arg = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_euclidean(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          arg = static_cast<int>(c);
+        }
+      }
+      if (labels[i] != arg) {
+        labels[i] = arg;
+        changed = true;
+      }
+      inertia += best;
+    }
+    if (!changed) break;
+
+    // Update step.
+    std::vector<FeatureVector> sums(k, FeatureVector(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(labels[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its current
+        // centroid; keeps k clusters populated.
+        std::size_t farthest = 0;
+        double worst = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = squared_euclidean(
+              points[i], centroids[static_cast<std::size_t>(labels[i])]);
+          if (d > worst) {
+            worst = d;
+            farthest = i;
+          }
+        }
+        centroids[c] = points[farthest];
+        continue;
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return {std::move(labels), std::move(centroids), inertia};
+}
+
+/// Remaps labels so cluster ids are dense and ordered by first appearance,
+/// dropping centroids that ended up empty.
+void densify(LloydOutcome& out) {
+  std::vector<int> remap(out.centroids.size(), -1);
+  std::vector<FeatureVector> kept;
+  int next = 0;
+  for (int& label : out.labels) {
+    auto& slot = remap[static_cast<std::size_t>(label)];
+    if (slot < 0) {
+      slot = next++;
+      kept.push_back(out.centroids[static_cast<std::size_t>(label)]);
+    }
+    label = slot;
+  }
+  out.centroids = std::move(kept);
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const FeatureVector> points, std::size_t k,
+                    stats::Rng& rng, const KMeansOptions& options) {
+  assert(!points.empty());
+  assert(k >= 1);
+  k = std::min(k, points.size());
+
+  LloydOutcome best{{}, {}, std::numeric_limits<double>::infinity()};
+  for (std::size_t r = 0; r < std::max<std::size_t>(options.restarts, 1); ++r) {
+    stats::Rng restart_rng = rng.substream(r + 1);
+    LloydOutcome out =
+        lloyd(points, seed_plus_plus(points, k, restart_rng), options.max_iterations);
+    if (out.inertia < best.inertia) best = std::move(out);
+  }
+  densify(best);
+  const std::size_t n_clusters = best.centroids.size();
+  return KMeansResult{
+      .labels = std::move(best.labels),
+      .centroids = std::move(best.centroids),
+      .inertia = best.inertia,
+      .k = n_clusters,
+  };
+}
+
+double bic_score(std::span<const FeatureVector> points, const KMeansResult& result) {
+  const auto n = static_cast<double>(points.size());
+  const auto k = static_cast<double>(result.k);
+  const auto d = static_cast<double>(points[0].size());
+
+  // Pooled spherical variance estimate; clamped so a perfect clustering
+  // (inertia 0) does not blow up the log-likelihood.
+  const double denom = std::max(n - k, 1.0);
+  const double sigma2 = std::max(result.inertia / (denom * d), 1e-12);
+
+  std::vector<std::size_t> counts(result.k, 0);
+  for (int label : result.labels) ++counts[static_cast<std::size_t>(label)];
+
+  double loglik = 0.0;
+  for (std::size_t c = 0; c < result.k; ++c) {
+    const auto nc = static_cast<double>(counts[c]);
+    if (nc == 0.0) continue;
+    loglik += nc * std::log(nc / n);
+  }
+  loglik -= n * d / 2.0 * std::log(2.0 * std::numbers::pi * sigma2);
+  loglik -= (n - k) * d / 2.0;
+
+  const double n_params = k * (d + 1.0);
+  return loglik - n_params / 2.0 * std::log(n);
+}
+
+BicSelection kmeans_bic(std::span<const FeatureVector> points, std::size_t max_k,
+                        stats::Rng& rng, double bic_fraction,
+                        const KMeansOptions& options) {
+  assert(!points.empty());
+  max_k = std::min(max_k, points.size());
+
+  std::vector<KMeansResult> results;
+  std::vector<double> bics;
+  results.reserve(max_k);
+  bics.reserve(max_k);
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    stats::Rng k_rng = rng.substream(0x1000 + k);
+    results.push_back(kmeans(points, k, k_rng, options));
+    bics.push_back(bic_score(points, results.back()));
+  }
+
+  const double best = *std::max_element(bics.begin(), bics.end());
+  const double worst = *std::min_element(bics.begin(), bics.end());
+  const double cutoff = worst + bic_fraction * (best - worst);
+  std::size_t selected = max_k;
+  for (std::size_t i = 0; i < bics.size(); ++i) {
+    if (bics[i] >= cutoff) {
+      selected = i + 1;
+      break;
+    }
+  }
+  return BicSelection{
+      .best = std::move(results[selected - 1]),
+      .bic_by_k = std::move(bics),
+      .selected_k = selected,
+  };
+}
+
+}  // namespace tbp::cluster

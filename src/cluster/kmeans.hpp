@@ -1,0 +1,56 @@
+// k-means with k-means++ seeding and SimPoint-style BIC model selection.
+//
+// This is the clustering engine behind the Ideal-SimPoint baseline: basic
+// block vectors of fixed-size sampling units are clustered for each k in
+// [1, max_k], each k is scored with the Bayesian information criterion, and
+// (following the SimPoint tool) the smallest k whose BIC reaches a fixed
+// fraction of the best observed BIC is selected.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cluster/feature.hpp"
+#include "stats/rng.hpp"
+
+namespace tbp::cluster {
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 4;  ///< independent k-means++ seedings; best inertia wins
+};
+
+struct KMeansResult {
+  std::vector<int> labels;               ///< dense cluster id per point
+  std::vector<FeatureVector> centroids;  ///< one per cluster
+  double inertia = 0.0;                  ///< sum of squared distances to centroid
+  std::size_t k = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding.  Deterministic for a given rng
+/// state.  Empty clusters are re-seeded from the point farthest from its
+/// centroid, so the result always has exactly `k` non-empty clusters when
+/// there are at least `k` distinct points.
+[[nodiscard]] KMeansResult kmeans(std::span<const FeatureVector> points, std::size_t k,
+                                  stats::Rng& rng, const KMeansOptions& options = {});
+
+/// Pelleg-Moore spherical-Gaussian BIC of a clustering (larger is better).
+[[nodiscard]] double bic_score(std::span<const FeatureVector> points,
+                               const KMeansResult& result);
+
+struct BicSelection {
+  KMeansResult best;               ///< clustering at the selected k
+  std::vector<double> bic_by_k;    ///< bic_by_k[i] is the score for k = i + 1
+  std::size_t selected_k = 0;
+};
+
+/// Runs kmeans for every k in [1, max_k] and picks the smallest k whose BIC
+/// reaches `bic_fraction` of the way from the worst to the best score — the
+/// SimPoint tool's selection rule.
+[[nodiscard]] BicSelection kmeans_bic(std::span<const FeatureVector> points,
+                                      std::size_t max_k, stats::Rng& rng,
+                                      double bic_fraction = 0.9,
+                                      const KMeansOptions& options = {});
+
+}  // namespace tbp::cluster

@@ -1,0 +1,42 @@
+#include "core/epoch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/descriptive.hpp"
+
+namespace tbp::core {
+
+std::vector<Epoch> build_epochs(const profile::LaunchProfile& launch,
+                                std::uint32_t system_occupancy) {
+  assert(system_occupancy >= 1);
+  const auto n_blocks = static_cast<std::uint32_t>(launch.blocks.size());
+  std::vector<Epoch> epochs;
+  epochs.reserve((n_blocks + system_occupancy - 1) / system_occupancy);
+
+  std::vector<double> mem_requests;   // X in Eq. 5
+  std::vector<double> warp_insts;     // Y in Eq. 5
+  std::vector<double> stall_probs;
+  for (std::uint32_t first = 0; first < n_blocks; first += system_occupancy) {
+    const std::uint32_t count = std::min(system_occupancy, n_blocks - first);
+    mem_requests.clear();
+    warp_insts.clear();
+    stall_probs.clear();
+    for (std::uint32_t b = first; b < first + count; ++b) {
+      const profile::BlockStats& block = launch.blocks[b];
+      mem_requests.push_back(static_cast<double>(block.mem_requests));
+      warp_insts.push_back(static_cast<double>(block.warp_insts));
+      stall_probs.push_back(block.stall_probability());
+    }
+    epochs.push_back(Epoch{
+        .first_block = first,
+        .n_blocks = count,
+        .avg_stall_probability = stats::mean(stall_probs),
+        .variance_factor = std::max(stats::coefficient_of_variation(mem_requests),
+                                    stats::coefficient_of_variation(warp_insts)),
+    });
+  }
+  return epochs;
+}
+
+}  // namespace tbp::core

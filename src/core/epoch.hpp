@@ -1,0 +1,35 @@
+// Epoch construction (paper Eq. 4 and Eq. 5).
+//
+// Blocks with nearby ids run concurrently under the greedy dispatcher, so
+// intra-launch sampling partitions a launch's blocks into epochs of
+// system-occupancy size: epoch_i = { TB_(occ*i) ... TB_(occ*(i+1)-1) }.
+// Each epoch is summarised by its average stall probability (the Eq. 5
+// intra-feature vector) and its variation factor max(CoV(X), CoV(Y)) over
+// the member blocks' memory-request counts X and warp-instruction counts Y,
+// which flags epochs containing outlier blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/profiler.hpp"
+
+namespace tbp::core {
+
+struct Epoch {
+  std::uint32_t first_block = 0;
+  std::uint32_t n_blocks = 0;
+  double avg_stall_probability = 0.0;  ///< Eq. 5 intra-feature
+  double variance_factor = 0.0;        ///< max(CoV(X), CoV(Y))
+
+  [[nodiscard]] std::uint32_t end_block() const noexcept {
+    return first_block + n_blocks;  // exclusive
+  }
+};
+
+/// Partitions the launch's blocks into epochs of `system_occupancy` blocks
+/// (the final epoch may be shorter) and computes each epoch's summary.
+[[nodiscard]] std::vector<Epoch> build_epochs(const profile::LaunchProfile& launch,
+                                              std::uint32_t system_occupancy);
+
+}  // namespace tbp::core

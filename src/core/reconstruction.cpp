@@ -1,0 +1,64 @@
+#include "core/reconstruction.hpp"
+
+#include <cassert>
+
+namespace tbp::core {
+
+LaunchPrediction predict_launch(const profile::LaunchProfile& launch,
+                                const sim::LaunchResult& result,
+                                std::span<const SkippedRegion> skipped) {
+  LaunchPrediction out;
+  out.total_warp_insts = launch.total_warp_insts();
+  out.simulated_warp_insts = result.sim_warp_insts;
+  out.simulated_cycles = result.cycles;
+
+  double extra_cycles = 0.0;
+  for (const SkippedRegion& region : skipped) {
+    // A region that was fast-forwarded always has a warming-unit IPC; the
+    // machine-IPC fallback only guards against degenerate zero-IPC units.
+    const double ipc =
+        region.predicted_ipc > 0.0 ? region.predicted_ipc : result.machine_ipc();
+    if (ipc > 0.0) {
+      extra_cycles += static_cast<double>(region.skipped_warp_insts) / ipc;
+    }
+  }
+  out.predicted_cycles = static_cast<double>(result.cycles) + extra_cycles;
+  out.predicted_ipc =
+      out.predicted_cycles == 0.0
+          ? 0.0
+          : static_cast<double>(out.total_warp_insts) / out.predicted_cycles;
+  return out;
+}
+
+ApplicationPrediction combine_predictions(
+    const profile::ApplicationProfile& profile, const InterLaunchResult& inter,
+    std::span<const LaunchPrediction> rep_predictions) {
+  assert(rep_predictions.size() == inter.representatives.size());
+
+  ApplicationPrediction out;
+  out.total_warp_insts = profile.total_warp_insts();
+
+  for (std::size_t c = 0; c < inter.clusters.size(); ++c) {
+    const LaunchPrediction& rep = rep_predictions[c];
+    const std::size_t rep_launch = inter.representatives[c];
+    for (std::size_t launch : inter.clusters[c]) {
+      const std::uint64_t insts = profile.launches[launch].total_warp_insts();
+      if (rep.predicted_ipc > 0.0) {
+        out.predicted_total_cycles += static_cast<double>(insts) / rep.predicted_ipc;
+      }
+      if (launch == rep_launch) {
+        out.simulated_warp_insts += rep.simulated_warp_insts;
+        out.skipped_intra_warp_insts += insts - rep.simulated_warp_insts;
+      } else {
+        out.skipped_inter_warp_insts += insts;
+      }
+    }
+  }
+  out.predicted_ipc = out.predicted_total_cycles == 0.0
+                          ? 0.0
+                          : static_cast<double>(out.total_warp_insts) /
+                                out.predicted_total_cycles;
+  return out;
+}
+
+}  // namespace tbp::core

@@ -1,0 +1,78 @@
+// Overall-IPC reconstruction (paper Table IV) and sample-size accounting.
+//
+// Intra-launch: a sampled launch's predicted cycle count is its simulated
+// cycles plus, for every fast-forwarded stretch, skipped_warp_insts divided
+// by the stretch's predicted IPC.  Inter-launch: every launch in a cluster
+// is predicted to run at its representative's (intra-predicted) IPC, scaled
+// by the launch's own instruction count.  The application's predicted IPC
+// is total instructions over total predicted cycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/inter_launch.hpp"
+#include "core/region_sampler.hpp"
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+
+namespace tbp::core {
+
+struct LaunchPrediction {
+  std::uint64_t total_warp_insts = 0;      ///< from the profile
+  std::uint64_t simulated_warp_insts = 0;  ///< actually issued in the sim
+  std::uint64_t simulated_cycles = 0;
+  double predicted_cycles = 0.0;
+  double predicted_ipc = 0.0;
+
+  [[nodiscard]] double sample_fraction() const noexcept {
+    return total_warp_insts == 0
+               ? 0.0
+               : static_cast<double>(simulated_warp_insts) /
+                     static_cast<double>(total_warp_insts);
+  }
+};
+
+/// Reconstructs one sampled launch from its simulation result and the
+/// sampler's fast-forward records.
+[[nodiscard]] LaunchPrediction predict_launch(
+    const profile::LaunchProfile& launch, const sim::LaunchResult& result,
+    std::span<const SkippedRegion> skipped);
+
+struct ApplicationPrediction {
+  double predicted_ipc = 0.0;
+  double predicted_total_cycles = 0.0;
+  std::uint64_t total_warp_insts = 0;
+  std::uint64_t simulated_warp_insts = 0;
+  /// Instructions never simulated because their launch was represented by
+  /// another launch (inter-launch savings).
+  std::uint64_t skipped_inter_warp_insts = 0;
+  /// Instructions fast-forwarded inside simulated launches (intra savings).
+  std::uint64_t skipped_intra_warp_insts = 0;
+
+  /// The paper's "total sample size": simulated / total instructions.
+  [[nodiscard]] double sample_fraction() const noexcept {
+    return total_warp_insts == 0
+               ? 0.0
+               : static_cast<double>(simulated_warp_insts) /
+                     static_cast<double>(total_warp_insts);
+  }
+  /// Fig. 11 breakdown: share of all skipped instructions attributable to
+  /// inter-launch sampling (the rest is intra-launch).
+  [[nodiscard]] double inter_skip_share() const noexcept {
+    const std::uint64_t skipped =
+        skipped_inter_warp_insts + skipped_intra_warp_insts;
+    return skipped == 0 ? 0.0
+                        : static_cast<double>(skipped_inter_warp_insts) /
+                              static_cast<double>(skipped);
+  }
+};
+
+/// Combines per-representative predictions into the application prediction.
+/// `rep_predictions[i]` corresponds to `inter.representatives[i]`.
+[[nodiscard]] ApplicationPrediction combine_predictions(
+    const profile::ApplicationProfile& profile, const InterLaunchResult& inter,
+    std::span<const LaunchPrediction> rep_predictions);
+
+}  // namespace tbp::core

@@ -1,0 +1,73 @@
+#include "core/region_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tbp::core {
+namespace {
+
+constexpr const char* kMagic = "tbpoint-regions-v1";
+
+}  // namespace
+
+void save_region_tables(const RegionTableSet& set, std::ostream& out) {
+  out << kMagic << '\n';
+  out << set.system_occupancy << ' ' << set.tables.size() << '\n';
+  for (const RegionTable& table : set.tables) {
+    out << "table " << table.n_blocks() << ' ' << table.regions().size() << '\n';
+    for (const HomogeneousRegion& region : table.regions()) {
+      out << region.region_id << ' ' << region.start_block << ' '
+          << region.end_block << ' ' << region.n_epochs << '\n';
+    }
+  }
+}
+
+bool save_region_tables_file(const RegionTableSet& set, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_region_tables(set, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<RegionTableSet> load_region_tables(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kMagic) return std::nullopt;
+
+  RegionTableSet set;
+  std::size_t n_tables = 0;
+  if (!(in >> set.system_occupancy >> n_tables)) return std::nullopt;
+
+  set.tables.reserve(n_tables);
+  for (std::size_t t = 0; t < n_tables; ++t) {
+    std::string tag;
+    std::uint32_t n_blocks = 0;
+    std::size_t n_regions = 0;
+    if (!(in >> tag >> n_blocks >> n_regions) || tag != "table") {
+      return std::nullopt;
+    }
+    std::vector<HomogeneousRegion> regions(n_regions);
+    for (HomogeneousRegion& region : regions) {
+      if (!(in >> region.region_id >> region.start_block >> region.end_block >>
+            region.n_epochs)) {
+        return std::nullopt;
+      }
+      if (region.start_block > region.end_block || region.end_block >= n_blocks) {
+        return std::nullopt;  // corrupt ranges must not reach RegionTable
+      }
+    }
+    // Regions must be sorted and disjoint (RegionTable's precondition).
+    for (std::size_t r = 1; r < regions.size(); ++r) {
+      if (regions[r].start_block <= regions[r - 1].end_block) return std::nullopt;
+    }
+    set.tables.emplace_back(n_blocks, std::move(regions));
+  }
+  return set;
+}
+
+std::optional<RegionTableSet> load_region_tables_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_region_tables(in);
+}
+
+}  // namespace tbp::core

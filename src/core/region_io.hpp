@@ -1,0 +1,36 @@
+// Homogeneous-region-table (de)serialization.
+//
+// The region table is the artifact that crosses the profiling/simulation
+// boundary in the paper's workflow (Table III): identification happens once
+// per (profile, occupancy) pair, and the simulator consults the stored
+// table at dispatch time.  Persisting tables lets a design sweep reuse them
+// across simulator invocations, and makes them inspectable/diffable.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace tbp::core {
+
+/// A saved set of region tables, one per launch of an application, tagged
+/// with the occupancy they were built for (tables are occupancy-specific —
+/// paper Section V-C).
+struct RegionTableSet {
+  std::uint32_t system_occupancy = 0;
+  std::vector<RegionTable> tables;
+};
+
+void save_region_tables(const RegionTableSet& set, std::ostream& out);
+[[nodiscard]] bool save_region_tables_file(const RegionTableSet& set,
+                                           const std::string& path);
+
+/// Returns nullopt on malformed input.
+[[nodiscard]] std::optional<RegionTableSet> load_region_tables(std::istream& in);
+[[nodiscard]] std::optional<RegionTableSet> load_region_tables_file(
+    const std::string& path);
+
+}  // namespace tbp::core

@@ -1,0 +1,79 @@
+#include "core/tbpoint.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "trace/occupancy.hpp"
+
+namespace tbp::core {
+namespace {
+
+/// With inter-launch sampling disabled, every launch is its own
+/// single-member cluster and its own representative.
+[[nodiscard]] InterLaunchResult identity_clustering(std::size_t n_launches) {
+  InterLaunchResult result;
+  result.cluster_of_launch.resize(n_launches);
+  std::iota(result.cluster_of_launch.begin(), result.cluster_of_launch.end(), 0);
+  result.clusters.resize(n_launches);
+  result.representatives.resize(n_launches);
+  for (std::size_t i = 0; i < n_launches; ++i) {
+    result.clusters[i] = {i};
+    result.representatives[i] = i;
+  }
+  return result;
+}
+
+}  // namespace
+
+TBPointRun run_tbpoint(std::span<const trace::LaunchTraceSource* const> launches,
+                       const profile::ApplicationProfile& profile,
+                       const sim::GpuConfig& config, const TBPointOptions& options) {
+  assert(launches.size() == profile.launches.size());
+
+  TBPointRun run;
+  run.inter = options.enable_inter ? cluster_launches(profile, options.inter)
+                                   : identity_clustering(launches.size());
+
+  sim::GpuSimulator simulator(config);
+  std::vector<LaunchPrediction> rep_predictions;
+  rep_predictions.reserve(run.inter.representatives.size());
+
+  for (std::size_t launch_index : run.inter.representatives) {
+    const trace::LaunchTraceSource& source = *launches[launch_index];
+    const profile::LaunchProfile& launch_profile = profile.launches[launch_index];
+
+    RepresentativeRun rep;
+    rep.launch_index = launch_index;
+
+    const std::uint32_t occupancy = trace::system_occupancy(
+        source.kernel(), config.sm_resources, config.n_sms);
+    if (options.enable_intra && occupancy > 0) {
+      rep.regions = identify_regions(launch_profile, occupancy, options.intra);
+    } else {
+      rep.regions.table =
+          RegionTable{static_cast<std::uint32_t>(launch_profile.blocks.size()), {}};
+    }
+
+    RegionSamplerOptions sampler_options = options.sampler;
+    if (sampler_options.simulate_final_tail_blocks == 0) {
+      // Simulate the launch-final drain (see RegionSamplerOptions).
+      sampler_options.simulate_final_tail_blocks = occupancy;
+    }
+    RegionSampler sampler(launch_profile, rep.regions.table, sampler_options);
+    sim::RunOptions run_options;
+    run_options.controller = &sampler;
+    rep.sim = simulator.run_launch(source, run_options);
+    sampler.finalize();
+
+    rep.skipped.assign(sampler.skipped_regions().begin(),
+                       sampler.skipped_regions().end());
+    rep.prediction = predict_launch(launch_profile, rep.sim, rep.skipped);
+    rep_predictions.push_back(rep.prediction);
+    run.reps.push_back(std::move(rep));
+  }
+
+  run.app = combine_predictions(profile, run.inter, rep_predictions);
+  return run;
+}
+
+}  // namespace tbp::core

@@ -1,0 +1,128 @@
+#include "harness/cache.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tbp::harness {
+namespace {
+
+constexpr const char* kCacheMagic = "tbpoint-row-v2";
+
+/// FNV-1a over a string; the key embeds readable fields plus this hash of
+/// the full option dump, so any option change invalidates the entry.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string experiment_key(const std::string& workload_name,
+                           const workloads::WorkloadScale& scale,
+                           const sim::GpuConfig& config,
+                           const ComparisonOptions& options) {
+  std::ostringstream dump;
+  dump << static_cast<int>(config.scheduler) << ' ';
+  dump << config.n_sms << ' ' << config.sm_resources.max_threads << ' '
+       << config.sm_resources.max_blocks << ' ' << config.sm_resources.registers
+       << ' ' << config.sm_resources.shared_mem_bytes << ' ' << config.l1.bytes
+       << ' ' << config.l1.associativity << ' ' << config.l1_mshrs << ' '
+       << config.l2.bytes << ' ' << config.l2.associativity << ' '
+       << config.l2_ports << ' ' << config.n_channels << ' '
+       << config.banks_per_channel << ' ' << config.dram.row_hit_cycles << ' '
+       << config.dram.row_miss_cycles << ' ' << config.dram.burst_cycles << ' '
+       << config.lat.int_alu << ' ' << config.lat.sfu << ' ' << config.lat.l1_hit
+       << ' ' << config.lat.l2_hit << ' ' << config.lat.interconnect << ' '
+       << options.tbpoint.inter.distance_threshold << ' '
+       << options.tbpoint.inter.include_bbv << ' '
+       << options.tbpoint.inter.bbv_weight << ' '
+       << options.tbpoint.sampler.entry_fraction << ' '
+       << options.tbpoint.sampler.simulate_final_tail_blocks << ' '
+       << options.tbpoint.intra.distance_threshold << ' '
+       << options.tbpoint.intra.variation_factor_threshold << ' '
+       << options.tbpoint.intra.min_region_epochs << ' '
+       << options.tbpoint.sampler.warmup_ipc_tolerance << ' '
+       << options.tbpoint.sampler.min_warm_units << ' '
+       << options.tbpoint.sampler.max_warm_units << ' '
+       << options.tbpoint.enable_inter << ' ' << options.tbpoint.enable_intra
+       << ' ' << options.random.sample_fraction << ' ' << options.random.seed
+       << ' ' << options.simpoint.max_k << ' ' << options.simpoint.bic_fraction
+       << ' ' << options.simpoint.seed << ' ' << options.systematic.period << ' '
+       << options.systematic.seed << ' ' << options.target_units << ' '
+       << options.min_unit_insts << ' ' << options.max_unit_insts;
+
+  std::ostringstream key;
+  key << workload_name << "_d" << scale.divisor << "_s" << std::hex << scale.seed
+      << "_c" << fnv1a(dump.str());
+  return key.str();
+}
+
+std::optional<ExperimentRow> load_cached_row(const std::string& cache_dir,
+                                             const std::string& key) {
+  std::ifstream in(std::filesystem::path(cache_dir) / (key + ".txt"));
+  if (!in) return std::nullopt;
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kCacheMagic) return std::nullopt;
+
+  ExperimentRow row;
+  int irregular = 0;
+  if (!(in >> row.workload >> irregular >> row.n_launches >> row.total_blocks >>
+        row.total_warp_insts >> row.full_ipc >> row.random.ipc >>
+        row.random.err_pct >> row.random.sample_pct >> row.simpoint.ipc >>
+        row.simpoint.err_pct >> row.simpoint.sample_pct >> row.systematic.ipc >>
+        row.systematic.err_pct >> row.systematic.sample_pct >> row.tbpoint.ipc >>
+        row.tbpoint.err_pct >> row.tbpoint.sample_pct >> row.inter_skip_share >>
+        row.simpoint_k >> row.tbp_clusters >> row.unit_insts >>
+        row.full_sim_seconds >> row.tbp_seconds)) {
+    return std::nullopt;
+  }
+  row.irregular = irregular != 0;
+  return row;
+}
+
+void save_cached_row(const std::string& cache_dir, const std::string& key,
+                     const ExperimentRow& row) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (ec) return;  // caching is best-effort
+  std::ofstream out(std::filesystem::path(cache_dir) / (key + ".txt"));
+  if (!out) return;
+  out.precision(17);
+  out << kCacheMagic << '\n'
+      << row.workload << ' ' << (row.irregular ? 1 : 0) << ' ' << row.n_launches
+      << ' ' << row.total_blocks << ' ' << row.total_warp_insts << ' '
+      << row.full_ipc << ' ' << row.random.ipc << ' ' << row.random.err_pct << ' '
+      << row.random.sample_pct << ' ' << row.simpoint.ipc << ' '
+      << row.simpoint.err_pct << ' ' << row.simpoint.sample_pct << ' '
+      << row.systematic.ipc << ' ' << row.systematic.err_pct << ' '
+      << row.systematic.sample_pct << ' '
+      << row.tbpoint.ipc << ' ' << row.tbpoint.err_pct << ' '
+      << row.tbpoint.sample_pct << ' ' << row.inter_skip_share << ' '
+      << row.simpoint_k << ' ' << row.tbp_clusters << ' ' << row.unit_insts << ' '
+      << row.full_sim_seconds << ' ' << row.tbp_seconds << '\n';
+}
+
+ExperimentRow cached_comparison(const std::string& workload_name,
+                                const workloads::WorkloadScale& scale,
+                                const sim::GpuConfig& config,
+                                const ComparisonOptions& options,
+                                const std::string& cache_dir) {
+  const std::string key = experiment_key(workload_name, scale, config, options);
+  if (!cache_dir.empty()) {
+    if (std::optional<ExperimentRow> row = load_cached_row(cache_dir, key)) {
+      return *row;
+    }
+  }
+  const workloads::Workload workload = workloads::make_workload(workload_name, scale);
+  const ExperimentRow row = run_comparison(workload, config, options);
+  if (!cache_dir.empty()) save_cached_row(cache_dir, key, row);
+  return row;
+}
+
+}  // namespace tbp::harness

@@ -1,0 +1,41 @@
+// On-disk result cache for experiment rows.
+//
+// Figures 9, 10 and 11 are views of the same four-way comparison, and the
+// hardware-sensitivity sweeps re-run it per configuration; since every run
+// is deterministic, rows are cached under a key that fingerprints the
+// workload, scale, GPU configuration and every sampling option, so each
+// (workload, config) pair is simulated once no matter how many bench
+// binaries ask for it.  Delete the cache directory (default
+// ./tbpoint_cache) or pass --no-cache to force recomputation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::harness {
+
+/// Stable fingerprint of everything that affects an ExperimentRow.
+[[nodiscard]] std::string experiment_key(const std::string& workload_name,
+                                         const workloads::WorkloadScale& scale,
+                                         const sim::GpuConfig& config,
+                                         const ComparisonOptions& options);
+
+[[nodiscard]] std::optional<ExperimentRow> load_cached_row(
+    const std::string& cache_dir, const std::string& key);
+
+void save_cached_row(const std::string& cache_dir, const std::string& key,
+                     const ExperimentRow& row);
+
+/// Cached wrapper around run_comparison: builds the workload and runs the
+/// comparison only on a cache miss.  `cache_dir` empty disables caching.
+[[nodiscard]] ExperimentRow cached_comparison(const std::string& workload_name,
+                                              const workloads::WorkloadScale& scale,
+                                              const sim::GpuConfig& config,
+                                              const ComparisonOptions& options,
+                                              const std::string& cache_dir);
+
+}  // namespace tbp::harness

@@ -1,0 +1,95 @@
+#include "harness/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tbp::harness {
+namespace {
+
+[[nodiscard]] std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < s.size()) out.push_back(s.substr(start));
+      break;
+    }
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+CommonFlags parse_common_flags(int argc, char** argv,
+                               const std::vector<std::string>& extra_allowed) {
+  CommonFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      flags.scale.divisor =
+          static_cast<std::uint32_t>(std::strtoul(take_value().c_str(), nullptr, 10));
+      if (flags.scale.divisor == 0) flags.scale.divisor = 1;
+    } else if (arg == "--seed") {
+      flags.scale.seed = std::strtoull(take_value().c_str(), nullptr, 0);
+    } else if (arg == "--benchmarks") {
+      flags.benchmarks = split_commas(take_value());
+      for (const std::string& name : flags.benchmarks) {
+        const auto& known = workloads::workload_names();
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+          std::fprintf(stderr, "%s: unknown benchmark '%s'\n", argv[0],
+                       name.c_str());
+          std::exit(2);
+        }
+      }
+    } else if (arg == "--no-cache") {
+      flags.cache_dir.clear();
+    } else if (arg == "--cache-dir") {
+      flags.cache_dir = take_value();
+    } else {
+      const bool allowed =
+          std::any_of(extra_allowed.begin(), extra_allowed.end(),
+                      [&](const std::string& a) { return a == arg; });
+      if (allowed) {
+        // Extra flags may take a value; skip it if it does not look like a
+        // flag itself.
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) ++i;
+        continue;
+      }
+      std::fprintf(stderr,
+                   "usage: %s [--scale N] [--seed S] [--benchmarks a,b,...] "
+                   "[--no-cache] [--cache-dir PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace tbp::harness

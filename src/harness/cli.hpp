@@ -1,0 +1,41 @@
+// Minimal command-line parsing shared by the bench binaries.
+//
+// Common flags:
+//   --scale N          workload scale divisor (default 4)
+//   --seed S           workload seed
+//   --benchmarks a,b   comma-separated subset of Table VI names
+//   --no-cache         recompute instead of using ./tbpoint_cache
+//   --cache-dir PATH   cache location
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace tbp::harness {
+
+struct CommonFlags {
+  workloads::WorkloadScale scale{.divisor = 4, .seed = 0x7b90147};
+  std::vector<std::string> benchmarks;  ///< empty = all 12
+  std::string cache_dir = "tbpoint_cache";
+
+  [[nodiscard]] const std::vector<std::string>& benchmark_list() const {
+    return benchmarks.empty() ? workloads::workload_names() : benchmarks;
+  }
+};
+
+/// Parses the common flags; prints usage and exits(2) on an unknown flag
+/// unless it appears in `extra_allowed` (flags the binary parses itself).
+[[nodiscard]] CommonFlags parse_common_flags(
+    int argc, char** argv, const std::vector<std::string>& extra_allowed = {});
+
+/// True if `flag` (e.g. "--full") was passed.
+[[nodiscard]] bool has_flag(int argc, char** argv, const std::string& flag);
+
+/// Value of `--name value`, or `fallback`.
+[[nodiscard]] std::string flag_value(int argc, char** argv, const std::string& name,
+                                     const std::string& fallback);
+
+}  // namespace tbp::harness

@@ -1,0 +1,107 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "stats/error.hpp"
+
+namespace tbp::harness {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ExperimentRow run_comparison(const workloads::Workload& workload,
+                             const sim::GpuConfig& config,
+                             const ComparisonOptions& options) {
+  ExperimentRow row;
+  row.workload = workload.name;
+  row.irregular = workload.irregular();
+  row.n_launches = workload.launches.size();
+  row.total_blocks = workload.total_blocks();
+
+  const std::vector<const trace::LaunchTraceSource*> sources = workload.sources();
+
+  // ---- One-time functional profiling (the GPUOcelot stage). ----
+  const auto tbp_start = Clock::now();
+  profile::ApplicationProfile app_profile;
+  app_profile.launches.reserve(sources.size());
+  for (const trace::LaunchTraceSource* source : sources) {
+    app_profile.launches.push_back(profile::profile_launch(*source));
+  }
+  const double profile_seconds = seconds_since(tbp_start);
+  row.total_warp_insts = app_profile.total_warp_insts();
+
+  // ---- Ground truth: full simulation with fixed-unit metering. ----
+  row.unit_insts = std::clamp<std::uint64_t>(
+      row.total_warp_insts / std::max<std::size_t>(options.target_units, 1),
+      options.min_unit_insts, options.max_unit_insts);
+  sim::GpuConfig full_config = config;
+  full_config.fixed_unit_insts = row.unit_insts;
+
+  const auto full_start = Clock::now();
+  sim::GpuSimulator full_sim(full_config);
+  std::uint64_t full_cycles = 0;
+  std::uint64_t full_insts = 0;
+  std::vector<sim::FixedUnit> units;
+  for (const trace::LaunchTraceSource* source : sources) {
+    sim::LaunchResult result = full_sim.run_launch(*source);
+    full_cycles += result.cycles;
+    full_insts += result.sim_warp_insts;
+    units.insert(units.end(),
+                 std::make_move_iterator(result.fixed_units.begin()),
+                 std::make_move_iterator(result.fixed_units.end()));
+  }
+  row.full_sim_seconds = seconds_since(full_start);
+  row.full_ipc = full_cycles == 0 ? 0.0
+                                  : static_cast<double>(full_insts) /
+                                        static_cast<double>(full_cycles);
+
+  // ---- Random sampling over the full simulation's units. ----
+  const baselines::RandomSamplingResult random =
+      baselines::random_sampling(units, options.random);
+  row.random.ipc = random.predicted_ipc;
+  row.random.err_pct = stats::relative_error_pct(random.predicted_ipc, row.full_ipc);
+  row.random.sample_pct = 100.0 * random.sample_fraction;
+
+  // ---- Systematic (periodic) sampling over the same units. ----
+  const baselines::SystematicSamplingResult systematic =
+      baselines::systematic_sampling(units, options.systematic);
+  row.systematic.ipc = systematic.predicted_ipc;
+  row.systematic.err_pct =
+      stats::relative_error_pct(systematic.predicted_ipc, row.full_ipc);
+  row.systematic.sample_pct = 100.0 * systematic.sample_fraction;
+
+  // ---- Ideal-SimPoint over the same units' BBVs. ----
+  const baselines::SimpointResult simpoint =
+      baselines::ideal_simpoint(units, options.simpoint);
+  row.simpoint.ipc = simpoint.predicted_ipc;
+  row.simpoint.err_pct =
+      stats::relative_error_pct(simpoint.predicted_ipc, row.full_ipc);
+  row.simpoint.sample_pct = 100.0 * simpoint.sample_fraction;
+  row.simpoint_k = simpoint.selected_k;
+
+  // ---- TBPoint: clustering + sampled simulation only. ----
+  const auto tbp_sim_start = Clock::now();
+  const core::TBPointRun tbp =
+      core::run_tbpoint(sources, app_profile, config, options.tbpoint);
+  row.tbp_seconds = profile_seconds + seconds_since(tbp_sim_start);
+  row.tbpoint.ipc = tbp.app.predicted_ipc;
+  row.tbpoint.err_pct =
+      stats::relative_error_pct(tbp.app.predicted_ipc, row.full_ipc);
+  row.tbpoint.sample_pct = 100.0 * tbp.app.sample_fraction();
+  row.inter_skip_share = tbp.app.inter_skip_share();
+  row.tbp_clusters = tbp.inter.clusters.size();
+
+  return row;
+}
+
+}  // namespace tbp::harness

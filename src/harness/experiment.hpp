@@ -1,0 +1,70 @@
+// The evaluation driver shared by every figure bench: runs Full, Random,
+// Ideal-SimPoint and TBPoint over one workload under one GPU configuration
+// and collects everything Figs. 9-13 report (IPCs, errors, sample sizes,
+// skip breakdowns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/ideal_simpoint.hpp"
+#include "baselines/random_sampling.hpp"
+#include "baselines/systematic_sampling.hpp"
+#include "core/tbpoint.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::harness {
+
+struct ComparisonOptions {
+  core::TBPointOptions tbpoint;
+  baselines::RandomSamplingOptions random;
+  baselines::SimpointOptions simpoint;
+  baselines::SystematicSamplingOptions systematic;
+  /// Fixed-size sampling units per application for the baselines: the unit
+  /// instruction count is total insts / target_units, clamped below.  The
+  /// paper's 1M-instruction units land its kernels in the regime of
+  /// one-to-a-few-hundred units per kernel; 120 keeps the same regime at
+  /// our workload scale.
+  std::size_t target_units = 120;
+  std::uint64_t min_unit_insts = 4000;
+  std::uint64_t max_unit_insts = 1u << 20;
+};
+
+struct MethodResult {
+  double ipc = 0.0;
+  double err_pct = 0.0;     ///< |ipc - full| / full * 100
+  double sample_pct = 0.0;  ///< simulated insts / total insts * 100
+};
+
+struct ExperimentRow {
+  std::string workload;
+  bool irregular = false;
+  std::size_t n_launches = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t total_warp_insts = 0;
+
+  double full_ipc = 0.0;
+  MethodResult random;
+  MethodResult simpoint;
+  MethodResult tbpoint;
+  /// Periodic (systematic) sampling — the related-work technique of paper
+  /// Section VI; not part of the paper's figures but reported by
+  /// bench/related_systematic for the comparison the prose makes.
+  MethodResult systematic;
+
+  double inter_skip_share = 0.0;  ///< Fig. 11: TBPoint inter share of skips
+  std::size_t simpoint_k = 0;
+  std::size_t tbp_clusters = 0;   ///< inter-launch clusters found
+  std::uint64_t unit_insts = 0;
+
+  double full_sim_seconds = 0.0;
+  double tbp_seconds = 0.0;       ///< profile + cluster + sampled sims
+};
+
+/// Runs the full four-way comparison.  Deterministic for fixed inputs.
+[[nodiscard]] ExperimentRow run_comparison(const workloads::Workload& workload,
+                                           const sim::GpuConfig& config,
+                                           const ComparisonOptions& options = {});
+
+}  // namespace tbp::harness

@@ -1,0 +1,73 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/error.hpp"
+
+namespace tbp::harness {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+void TablePrinter::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : headers_[c];
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  const auto print_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+    std::fputc('\n', out);
+  };
+
+  print_line(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_line(row);
+    }
+  }
+}
+
+std::string fmt(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string fmt_pct(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f%%", decimals, value);
+  return buffer;
+}
+
+double geomean_pct(std::span<const double> values_pct) {
+  return stats::geomean_error_pct(values_pct);
+}
+
+}  // namespace tbp::harness

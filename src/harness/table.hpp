@@ -1,0 +1,36 @@
+// Fixed-width table printing for bench output: each figure bench prints the
+// rows/series the paper's figure plots, plus the geometric-mean summary
+// line the paper quotes in the text.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tbp::harness {
+
+class TablePrinter {
+ public:
+  /// `headers` fixes the column count; widths auto-size to the content.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  /// Renders to `out` (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  ///< empty row = separator
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double value, int decimals = 2);
+
+/// Geometric mean of the `errors_pct` column with the conventional floor.
+[[nodiscard]] double geomean_pct(std::span<const double> values_pct);
+
+}  // namespace tbp::harness

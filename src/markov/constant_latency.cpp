@@ -1,0 +1,28 @@
+#include "markov/constant_latency.hpp"
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace tbp::markov {
+
+double constant_latency_ipc(double p, double m, std::size_t n_warps) {
+  WarpChainParams params;
+  params.stall_probability = p;
+  params.stall_cycles.assign(n_warps, m);
+  return closed_form_ipc(params);
+}
+
+ModelComparison compare_models(const MonteCarloConfig& config) {
+  ModelComparison out;
+  out.constant_m_ipc = constant_latency_ipc(
+      config.stall_probability, config.mean_stall_cycles, config.n_warps);
+
+  const MonteCarloResult mc = run_ipc_variation(config);
+  out.stochastic_mean_ipc = mc.mean_ipc;
+  out.stochastic_p5_ipc = stats::percentile(mc.sample_ipcs, 5.0);
+  out.stochastic_p95_ipc = stats::percentile(mc.sample_ipcs, 95.0);
+  return out;
+}
+
+}  // namespace tbp::markov

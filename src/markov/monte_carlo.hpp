@@ -1,0 +1,54 @@
+// Monte Carlo study of IPC variation under stochastic stall latency —
+// the experiment behind paper Lemma 4.1 and Figure 5.
+//
+// For each sample, every warp's mean stall latency M_x is drawn from
+// N(mu, sigma) with sigma = (tolerance * mu) / 1.96, so that 95% of draws
+// fall within +/- tolerance of mu (the paper uses tolerance = 0.1).  The
+// Markov chain is solved per sample and the distribution of IPCs is
+// summarised.  Lemma 4.1 holds when >= 95% of sample IPCs land within 10%
+// of the mean IPC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "markov/warp_chain.hpp"
+#include "stats/rng.hpp"
+
+namespace tbp::markov {
+
+struct MonteCarloConfig {
+  double stall_probability = 0.1;  ///< p
+  double mean_stall_cycles = 400;  ///< mu of M
+  std::size_t n_warps = 4;         ///< N
+  std::size_t n_samples = 10000;   ///< paper: "total number of samples is set to 10,000"
+  double latency_tolerance = 0.1;  ///< +/-10% band for M's Gaussian
+  std::uint64_t seed = 0x7b90147;
+  /// For n_warps above this bound the closed-form solution is used per
+  /// sample instead of the 2^N matrix (validated equivalent in tests).
+  std::size_t exact_solver_max_warps = 6;
+};
+
+struct MonteCarloResult {
+  std::vector<double> sample_ipcs;
+  double mean_ipc = 0.0;
+  double min_ipc = 0.0;
+  double max_ipc = 0.0;
+  /// Fraction of samples with |ipc - mean| / mean <= band for the Fig. 5
+  /// bands of interest.
+  double fraction_within_5pct = 0.0;
+  double fraction_within_10pct = 0.0;
+  /// CDF support for plotting Fig. 5: ipc_percentiles[i] is the i-th
+  /// percentile of sample IPC normalised by the mean IPC.
+  std::vector<double> normalized_ipc_percentiles;  ///< 101 entries, P0..P100
+};
+
+/// Runs the Lemma 4.1 experiment for one (p, M, N) configuration.
+[[nodiscard]] MonteCarloResult run_ipc_variation(const MonteCarloConfig& config);
+
+/// True when the result satisfies Lemma 4.1 ("more than 95% of the samples
+/// have less than a 10% difference of the average IPC").
+[[nodiscard]] bool satisfies_lemma_4_1(const MonteCarloResult& result) noexcept;
+
+}  // namespace tbp::markov

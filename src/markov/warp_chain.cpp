@@ -1,0 +1,79 @@
+#include "markov/warp_chain.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/matrix.hpp"
+
+namespace tbp::markov {
+
+stats::Matrix build_transition_matrix(const WarpChainParams& params) {
+  const std::size_t n_warps = params.stall_cycles.size();
+  assert(n_warps >= 1 && n_warps <= 14);
+  assert(params.stall_probability > 0.0 && params.stall_probability < 1.0);
+  const std::size_t n_states = std::size_t{1} << n_warps;
+  const double p = params.stall_probability;
+
+  // Per-warp transition probabilities; wake probability is 1/M_x.
+  std::vector<double> wake(n_warps);
+  for (std::size_t x = 0; x < n_warps; ++x) {
+    assert(params.stall_cycles[x] > 1.0);
+    wake[x] = 1.0 / params.stall_cycles[x];
+  }
+
+  stats::Matrix t(n_states, n_states);
+  for (std::size_t i = 0; i < n_states; ++i) {
+    for (std::size_t j = 0; j < n_states; ++j) {
+      double prob = 1.0;
+      for (std::size_t x = 0; x < n_warps; ++x) {
+        const bool runnable_now = (i >> x) & 1U;
+        const bool runnable_next = (j >> x) & 1U;
+        if (runnable_now) {
+          prob *= runnable_next ? (1.0 - p) : p;
+        } else {
+          prob *= runnable_next ? wake[x] : (1.0 - wake[x]);
+        }
+        if (prob == 0.0) break;
+      }
+      t.at(i, j) = prob;
+    }
+  }
+  return t;
+}
+
+SteadyState solve_steady_state(const stats::Matrix& transition, double tolerance,
+                               std::size_t max_iterations) {
+  const std::size_t n_states = transition.rows();
+  // Paper's V_i = <0,...,0,1>: state 2^N - 1 (all runnable) with mass 1.
+  std::vector<double> v(n_states, 0.0);
+  v.back() = 1.0;
+
+  SteadyState result;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    std::vector<double> next = transition.left_multiply(v);
+    const double delta = stats::l1_distance(v, next);
+    v = std::move(next);
+    result.iterations = iter + 1;
+    if (delta < tolerance) break;
+  }
+  result.ipc = 1.0 - v[0];
+  result.distribution = std::move(v);
+  return result;
+}
+
+SteadyState solve_warp_chain(const WarpChainParams& params) {
+  return solve_steady_state(build_transition_matrix(params));
+}
+
+double closed_form_ipc(const WarpChainParams& params) noexcept {
+  // Each warp's stationary stall probability: transitions r->s at rate p and
+  // s->r at rate 1/M give pi_stall = p / (p + 1/M) = pM / (pM + 1).
+  double all_stalled = 1.0;
+  for (double m : params.stall_cycles) {
+    const double pm = params.stall_probability * m;
+    all_stalled *= pm / (pm + 1.0);
+  }
+  return 1.0 - all_stalled;
+}
+
+}  // namespace tbp::markov

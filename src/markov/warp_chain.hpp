@@ -1,0 +1,58 @@
+// The warp-interleaving Markov chain of paper Eq. 3.
+//
+// An SM holds N warps.  Each warp is a two-state chain: runnable (1) or
+// stalled (0).  A runnable warp stalls with probability p per cycle (the
+// fraction of long-latency instructions); a stalled warp wakes with
+// probability 1/M_x per cycle, where M_x is that warp's mean stall latency.
+// The SM state is the N-bit vector of warp states, giving a 2^N x 2^N
+// transition matrix whose entries are products of independent per-warp
+// transition probabilities.  The SM issues one instruction per cycle unless
+// every warp is stalled, so IPC = 1 - pi(state 0), with pi the steady state.
+//
+// The paper uses this chain (plus Monte Carlo over random M, see
+// monte_carlo.hpp) to prove Lemma 4.1: the IPC of a homogeneous interval is
+// insensitive to warp interleaving, which is what licenses fast-forwarding
+// whole thread blocks inside a homogeneous region.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace tbp::markov {
+
+/// Warp-state convention: bit x of a state index is warp x's state, 1 =
+/// runnable, 0 = stalled.  Warp 0 is the least significant bit.
+struct WarpChainParams {
+  double stall_probability = 0.1;        ///< p, identical across warps
+  std::vector<double> stall_cycles;      ///< M_x per warp, all > 1
+};
+
+/// Builds the full 2^N x 2^N row-stochastic transition matrix of Eq. 3.
+/// N = params.stall_cycles.size(); kept <= 14 to bound memory.
+[[nodiscard]] stats::Matrix build_transition_matrix(const WarpChainParams& params);
+
+struct SteadyState {
+  std::vector<double> distribution;  ///< pi over 2^N states
+  double ipc = 0.0;                  ///< 1 - pi[0]
+  std::size_t iterations = 0;        ///< power-iteration steps taken
+};
+
+/// Steady state by power iteration from the paper's initial vector
+/// V_i = <0, 0, ..., 1> (all warps runnable).  Converges because the chain
+/// is irreducible and aperiodic for p in (0,1), M > 1.
+[[nodiscard]] SteadyState solve_steady_state(const stats::Matrix& transition,
+                                             double tolerance = 1e-12,
+                                             std::size_t max_iterations = 200000);
+
+/// Convenience: build + solve.
+[[nodiscard]] SteadyState solve_warp_chain(const WarpChainParams& params);
+
+/// Closed form for the same chain: warps are independent two-state chains,
+/// so pi(all stalled) = prod_x (p * M_x) / (p * M_x + 1) and
+/// IPC = 1 - that product.  Used to cross-validate the matrix solver.
+[[nodiscard]] double closed_form_ipc(const WarpChainParams& params) noexcept;
+
+}  // namespace tbp::markov

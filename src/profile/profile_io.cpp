@@ -1,0 +1,75 @@
+#include "profile/profile_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tbp::profile {
+namespace {
+
+constexpr const char* kMagic = "tbpoint-profile-v1";
+
+}  // namespace
+
+void save_profile(const ApplicationProfile& profile, std::ostream& out) {
+  out << kMagic << '\n';
+  out << profile.launches.size() << '\n';
+  for (const LaunchProfile& launch : profile.launches) {
+    out << "launch " << launch.kernel_name << ' ' << launch.blocks.size() << ' '
+        << launch.bbv.size() << '\n';
+    out << "bbv";
+    for (std::uint64_t v : launch.bbv) out << ' ' << v;
+    out << '\n';
+    for (const BlockStats& b : launch.blocks) {
+      out << b.thread_insts << ' ' << b.warp_insts << ' ' << b.mem_requests << '\n';
+    }
+  }
+}
+
+bool save_profile_file(const ApplicationProfile& profile, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_profile(profile, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<ApplicationProfile> load_profile(std::istream& in) {
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kMagic) return std::nullopt;
+
+  std::size_t n_launches = 0;
+  if (!(in >> n_launches)) return std::nullopt;
+
+  ApplicationProfile profile;
+  profile.launches.reserve(n_launches);
+  for (std::size_t l = 0; l < n_launches; ++l) {
+    std::string tag;
+    LaunchProfile launch;
+    std::size_t n_blocks = 0;
+    std::size_t n_bbs = 0;
+    if (!(in >> tag >> launch.kernel_name >> n_blocks >> n_bbs) || tag != "launch") {
+      return std::nullopt;
+    }
+    if (!(in >> tag) || tag != "bbv") return std::nullopt;
+    launch.bbv.resize(n_bbs);
+    for (std::uint64_t& v : launch.bbv) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    launch.blocks.resize(n_blocks);
+    for (BlockStats& b : launch.blocks) {
+      if (!(in >> b.thread_insts >> b.warp_insts >> b.mem_requests)) {
+        return std::nullopt;
+      }
+    }
+    profile.launches.push_back(std::move(launch));
+  }
+  return profile;
+}
+
+std::optional<ApplicationProfile> load_profile_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_profile(in);
+}
+
+}  // namespace tbp::profile

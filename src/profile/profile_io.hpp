@@ -1,0 +1,28 @@
+// Profile (de)serialization.
+//
+// "One-time profiling" only pays off if the profile outlives the process:
+// the expensive functional walk is done once per program/input pair, saved,
+// and re-clustered cheaply for every hardware configuration studied.  The
+// format is a line-oriented text format (self-describing, diff-able,
+// version-tagged).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "profile/profiler.hpp"
+
+namespace tbp::profile {
+
+void save_profile(const ApplicationProfile& profile, std::ostream& out);
+[[nodiscard]] bool save_profile_file(const ApplicationProfile& profile,
+                                     const std::string& path);
+
+/// Returns nullopt on malformed input (wrong magic, truncated records,
+/// non-numeric fields).
+[[nodiscard]] std::optional<ApplicationProfile> load_profile(std::istream& in);
+[[nodiscard]] std::optional<ApplicationProfile> load_profile_file(
+    const std::string& path);
+
+}  // namespace tbp::profile

@@ -1,0 +1,29 @@
+#include "sim/config.hpp"
+
+namespace tbp::sim {
+
+GpuConfig fermi_config() {
+  GpuConfig config;
+  config.n_sms = 14;
+  config.sm_resources = trace::SmResources{
+      .max_threads = 1536,
+      .max_blocks = 8,
+      .registers = 32768,
+      .shared_mem_bytes = 49152,
+  };
+  config.l1 = CacheGeometry{.bytes = 16384, .line_bytes = 128, .associativity = 8};
+  config.l2 = CacheGeometry{.bytes = 786432, .line_bytes = 128, .associativity = 8};
+  return config;
+}
+
+GpuConfig scaled_config(std::uint32_t max_warps, std::uint32_t n_sms) {
+  GpuConfig config = fermi_config();
+  config.n_sms = n_sms;
+  config.sm_resources.max_threads = max_warps * trace::kWarpSize;
+  // Keep bytes-per-SM constant so the sweep isolates occupancy effects from
+  // cache-capacity effects.
+  config.l2.bytes = 786432 / 14 * n_sms;
+  return config;
+}
+
+}  // namespace tbp::sim

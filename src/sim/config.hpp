@@ -1,0 +1,87 @@
+// GPU configuration, defaulted to the paper's Table V (NVIDIA Fermi class):
+// 14 SMs at 1.15 GHz, 1 warp-instruction/cycle in-order issue, 32-wide SIMD,
+// 16 KB L1 (128 B lines, 8-way), 768 KB shared L2, 16-bank / 6-channel DRAM
+// with FR-FCFS scheduling, 2 KB pages.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/occupancy.hpp"
+
+namespace tbp::sim {
+
+/// Warp issue policy.  Table V's baseline is (loose) round-robin; greedy-
+/// then-oldest is the common alternative in Fermi-class simulators and lets
+/// the benches check that TBPoint's one-time profile retargets across
+/// scheduler policies, not just machine sizes.
+enum class WarpScheduler : std::uint8_t {
+  kRoundRobin,
+  kGreedyThenOldest,
+};
+
+struct Latencies {
+  std::uint32_t int_alu = 8;       ///< dependent-issue latency incl. decode
+  std::uint32_t float_alu = 8;
+  std::uint32_t sfu = 20;
+  std::uint32_t shared_mem = 24;   ///< software-managed cache access
+  std::uint32_t store_issue = 4;   ///< warp-visible cost of a store (fire & forget)
+  std::uint32_t l1_hit = 32;
+  std::uint32_t l2_hit = 40;       ///< L2 array access, added on top of interconnect
+  std::uint32_t interconnect = 20; ///< SM <-> L2 one way
+};
+
+struct CacheGeometry {
+  std::uint32_t bytes = 16384;
+  std::uint32_t line_bytes = 128;
+  std::uint32_t associativity = 8;
+
+  [[nodiscard]] std::uint32_t n_sets() const noexcept {
+    return bytes / (line_bytes * associativity);
+  }
+};
+
+struct DramTiming {
+  std::uint32_t row_hit_cycles = 18;   ///< bank busy time on a row-buffer hit
+  std::uint32_t row_miss_cycles = 56;  ///< precharge + activate + CAS
+  std::uint32_t burst_cycles = 4;      ///< channel data-bus occupancy per request
+  std::uint32_t scheduler_window = 32; ///< FR-FCFS scan depth
+};
+
+struct GpuConfig {
+  std::uint32_t n_sms = 14;
+  trace::SmResources sm_resources;
+  Latencies lat;
+  WarpScheduler scheduler = WarpScheduler::kRoundRobin;
+
+  CacheGeometry l1;                  ///< per SM
+  std::uint32_t l1_mshrs = 64;
+  CacheGeometry l2;                  ///< shared
+  std::uint32_t l2_mshrs = 512;
+  std::uint32_t l2_ports = 4;        ///< requests accepted per cycle
+
+  std::uint32_t n_channels = 6;
+  std::uint32_t banks_per_channel = 16;
+  DramTiming dram;
+  std::uint32_t dram_page_bytes = 2048;
+
+  /// Fixed-size sampling-unit length in warp instructions for the
+  /// Random / Ideal-SimPoint baselines; 0 disables fixed-unit metering.
+  std::uint64_t fixed_unit_insts = 0;
+
+  [[nodiscard]] std::uint32_t lines_per_dram_page() const noexcept {
+    return dram_page_bytes / l1.line_bytes;
+  }
+  [[nodiscard]] std::uint32_t max_warps_per_sm() const noexcept {
+    return sm_resources.max_threads / trace::kWarpSize;
+  }
+};
+
+/// Table V configuration.
+[[nodiscard]] GpuConfig fermi_config();
+
+/// Table V scaled to `n_sms` SMs and `max_warps` warp contexts per SM, used
+/// by the Fig. 12/13 hardware-sensitivity sweeps (W warps, S SMs).  L2
+/// capacity scales with the SM count so memory pressure stays comparable.
+[[nodiscard]] GpuConfig scaled_config(std::uint32_t max_warps, std::uint32_t n_sms);
+
+}  // namespace tbp::sim

@@ -1,0 +1,243 @@
+#include "sim/gpu.hpp"
+
+#include <cassert>
+#include <optional>
+#include <cstdio>
+#include <cstdlib>
+
+#include "trace/occupancy.hpp"
+
+namespace tbp::sim {
+namespace {
+
+/// Tracks the designated block for thread-block-delimited sampling units
+/// (paper Section IV-B2): the unit is the interval between the start and
+/// the end of a *specified* thread block.  The first specified block is the
+/// very first dispatched block; when the specified block retires, the unit
+/// closes and the next dispatched block becomes the new specified block.
+/// Because the specified block executes the whole kernel code, each unit
+/// spans a full block lifetime — long enough for its machine-wide IPC to be
+/// a stable sample (tens of concurrent blocks' throughput averaged over
+/// thousands of cycles), which is what the warming comparison relies on.
+class UnitTracker {
+ public:
+  void on_dispatch(std::uint32_t block_id, std::uint64_t cycle,
+                   const GlobalMeter& meter) {
+    if (unit_open_) return;
+    unit_open_ = true;
+    designated_ = block_id;
+    start_cycle_ = cycle;
+    start_insts_ = meter.warp_insts;
+  }
+
+  /// Returns true (and fills `unit`) when this retirement closes a unit.
+  bool on_retire(std::uint32_t block_id, std::uint64_t cycle,
+                 const GlobalMeter& meter, SamplingUnit& unit) {
+    if (!unit_open_ || block_id != designated_) return false;
+    unit = SamplingUnit{
+        .start_cycle = start_cycle_,
+        .end_cycle = cycle,
+        .warp_insts = meter.warp_insts - start_insts_,
+        .end_block_id = block_id,
+    };
+    unit_open_ = false;  // the next dispatch re-opens
+    return true;
+  }
+
+  /// Closes the trailing partial unit (the drain after the last designated
+  /// block, or a launch whose designated block never retired) so units tile
+  /// the whole simulation.  Returns false if nothing is open or the tail is
+  /// empty.
+  bool close_tail(std::uint64_t cycle, const GlobalMeter& meter,
+                  SamplingUnit& unit) {
+    if (!unit_open_ && meter.warp_insts == last_tail_insts_) return false;
+    const std::uint64_t start =
+        unit_open_ ? start_cycle_ : last_tail_cycle_;
+    const std::uint64_t start_insts =
+        unit_open_ ? start_insts_ : last_tail_insts_;
+    if (meter.warp_insts == start_insts) return false;
+    unit = SamplingUnit{
+        .start_cycle = start,
+        .end_cycle = cycle,
+        .warp_insts = meter.warp_insts - start_insts,
+        .end_block_id = kTailUnit,
+    };
+    unit_open_ = false;
+    return true;
+  }
+
+  /// Records where the last closed unit ended so close_tail can account for
+  /// drain instructions issued after it.
+  void note_close(std::uint64_t cycle, const GlobalMeter& meter) {
+    last_tail_cycle_ = cycle;
+    last_tail_insts_ = meter.warp_insts;
+  }
+
+  static constexpr std::uint32_t kTailUnit = 0xffffffffu;
+
+ private:
+  bool unit_open_ = false;
+  std::uint32_t designated_ = 0;
+  std::uint64_t start_cycle_ = 0;
+  std::uint64_t start_insts_ = 0;
+  std::uint64_t last_tail_cycle_ = 0;
+  std::uint64_t last_tail_insts_ = 0;
+};
+
+}  // namespace
+
+GpuSimulator::GpuSimulator(const GpuConfig& config) : config_(config) {}
+
+LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
+                                      const RunOptions& options) {
+  const trace::KernelInfo& kernel = launch.kernel();
+  const std::uint32_t occupancy =
+      trace::sm_occupancy(kernel, config_.sm_resources);
+  if (occupancy == 0) {
+    std::fprintf(stderr, "kernel %s exceeds per-SM resources\n",
+                 kernel.name.c_str());
+    std::abort();
+  }
+
+  MemorySystem memory(config_);
+  GlobalMeter meter;
+  if (config_.fixed_unit_insts > 0) {
+    meter.fixed_unit_bbv.assign(kernel.n_basic_blocks, 0);
+  }
+
+  std::vector<SmCore> sms;
+  sms.reserve(config_.n_sms);
+  for (std::uint32_t s = 0; s < config_.n_sms; ++s) {
+    sms.emplace_back(s, config_, memory, meter);
+    sms.back().configure_launch(occupancy, kernel.warps_per_block());
+  }
+
+  LaunchResult result;
+  result.sm_occupancy = occupancy;
+  result.system_occupancy = occupancy * config_.n_sms;
+
+  UnitTracker units;
+  SimController default_controller;
+  SimController* controller =
+      options.controller != nullptr ? options.controller : &default_controller;
+
+  const std::uint32_t n_blocks = launch.n_blocks();
+  std::uint32_t next_block = 0;
+  std::uint64_t cycle = 0;
+  std::uint64_t fixed_unit_start_cycle = 0;
+  std::uint64_t fixed_unit_start_insts = 0;
+  std::uint64_t fixed_unit_start_threads = 0;
+  std::optional<BlockAction> pending_action;
+  std::vector<MemCompletion> completions;
+
+  const auto close_fixed_unit = [&](std::uint64_t now) {
+    FixedUnit unit;
+    unit.start_cycle = fixed_unit_start_cycle;
+    unit.end_cycle = now;
+    unit.warp_insts = meter.warp_insts - fixed_unit_start_insts;
+    unit.thread_insts = meter.thread_insts - fixed_unit_start_threads;
+    unit.bbv = meter.fixed_unit_bbv;
+    result.fixed_units.push_back(std::move(unit));
+    std::fill(meter.fixed_unit_bbv.begin(), meter.fixed_unit_bbv.end(), 0u);
+    fixed_unit_start_cycle = now;
+    fixed_unit_start_insts = meter.warp_insts;
+    fixed_unit_start_threads = meter.thread_insts;
+  };
+
+  const auto all_sms_idle = [&] {
+    for (const SmCore& sm : sms) {
+      if (!sm.idle()) return false;
+    }
+    return true;
+  };
+
+  while (next_block < n_blocks || !all_sms_idle()) {
+    // Greedy dispatch: fill every free slot, consuming skipped blocks
+    // instantly (a whole fast-forwarded region costs zero cycles).  The
+    // controller is consulted exactly once per block; the decision is
+    // cached across cycles while all slots are busy.
+    while (next_block < n_blocks) {
+      if (!pending_action.has_value()) {
+        pending_action = controller->on_block_dispatch(next_block, cycle);
+      }
+      const BlockAction action = *pending_action;
+      if (action == BlockAction::kSkip) {
+        pending_action.reset();
+        result.skipped_blocks.push_back(next_block);
+        controller->on_block_retire(next_block, cycle, /*was_skipped=*/true);
+        ++next_block;
+        continue;
+      }
+      SmCore* target = nullptr;
+      for (SmCore& sm : sms) {
+        if (sm.has_free_slot()) {
+          target = &sm;
+          break;
+        }
+      }
+      if (target == nullptr) break;  // all slots busy; retry next cycle
+      pending_action.reset();
+      target->dispatch_block(next_block, launch.block_trace(next_block), cycle);
+      units.on_dispatch(next_block, cycle, meter);
+      ++next_block;
+    }
+
+    for (SmCore& sm : sms) sm.issue(cycle);
+
+    completions.clear();
+    memory.tick(cycle, completions);
+    for (const MemCompletion& c : completions) {
+      sms[c.sm_id].on_mem_complete(c.token, cycle);
+    }
+
+    for (SmCore& sm : sms) {
+      for (std::uint32_t block_id : sm.retired()) {
+        controller->on_block_retire(block_id, cycle, /*was_skipped=*/false);
+        SamplingUnit unit;
+        if (units.on_retire(block_id, cycle, meter, unit)) {
+          units.note_close(cycle, meter);
+          result.tb_units.push_back(unit);
+          controller->on_sampling_unit(unit);
+        }
+      }
+      sm.retired().clear();
+    }
+
+    if (config_.fixed_unit_insts > 0 &&
+        meter.warp_insts - fixed_unit_start_insts >= config_.fixed_unit_insts) {
+      close_fixed_unit(cycle);
+    }
+
+    ++cycle;
+    if (cycle >= options.max_cycles) {
+      std::fprintf(stderr, "simulation exceeded max_cycles (%llu)\n",
+                   static_cast<unsigned long long>(options.max_cycles));
+      std::abort();
+    }
+  }
+
+  // Close the trailing partial fixed unit so every instruction is in a unit.
+  if (config_.fixed_unit_insts > 0 && meter.warp_insts > fixed_unit_start_insts) {
+    close_fixed_unit(cycle);
+  }
+  // Same for the block-delimited units: account for the drain tail.
+  {
+    SamplingUnit tail;
+    if (units.close_tail(cycle, meter, tail)) result.tb_units.push_back(tail);
+  }
+
+  result.cycles = cycle;
+  result.sim_warp_insts = meter.warp_insts;
+  result.sim_thread_insts = meter.thread_insts;
+  result.per_sm.reserve(sms.size());
+  for (const SmCore& sm : sms) {
+    result.per_sm.push_back(SmLaunchStats{
+        .warp_insts = sm.warp_insts(),
+        .thread_insts = sm.thread_insts(),
+    });
+  }
+  result.mem = memory.stats();
+  return result;
+}
+
+}  // namespace tbp::sim

@@ -1,0 +1,82 @@
+// Top-level GPU simulator: greedy global thread-block dispatcher, the SM
+// array, the memory hierarchy, and sampling-unit metering.  One call to
+// run_launch simulates one kernel launch (the unit at which all of the
+// paper's sampling operates); caches and queues are reset between launches
+// so launch simulations compose independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/controller.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/sm.hpp"
+#include "trace/kernel.hpp"
+
+namespace tbp::sim {
+
+/// A fixed-size sampling unit (the Random / Ideal-SimPoint granularity):
+/// closed every `GpuConfig::fixed_unit_insts` issued warp instructions.
+struct FixedUnit {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t warp_insts = 0;
+  std::uint64_t thread_insts = 0;
+  std::vector<std::uint32_t> bbv;  ///< warp insts per static basic block
+
+  [[nodiscard]] double ipc() const noexcept {
+    const std::uint64_t span = end_cycle - start_cycle;
+    return span == 0 ? 0.0
+                     : static_cast<double>(warp_insts) / static_cast<double>(span);
+  }
+};
+
+struct SmLaunchStats {
+  std::uint64_t warp_insts = 0;
+  std::uint64_t thread_insts = 0;
+};
+
+struct LaunchResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t sim_warp_insts = 0;    ///< issued (not fast-forwarded)
+  std::uint64_t sim_thread_insts = 0;
+  std::vector<SmLaunchStats> per_sm;
+  std::vector<std::uint32_t> skipped_blocks;  ///< fast-forwarded block ids
+  std::vector<SamplingUnit> tb_units;         ///< block-delimited units
+  std::vector<FixedUnit> fixed_units;         ///< when fixed_unit_insts > 0
+  MemoryStats mem;
+  std::uint32_t sm_occupancy = 0;
+  std::uint32_t system_occupancy = 0;
+
+  /// Machine IPC over the launch.  With every SM charged the full launch
+  /// duration, the paper's Fig. 9 metric sum_k insts_k / cycles_k reduces to
+  /// this value.
+  [[nodiscard]] double machine_ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(sim_warp_insts) /
+                             static_cast<double>(cycles);
+  }
+};
+
+struct RunOptions {
+  SimController* controller = nullptr;  ///< null = full simulation
+  std::uint64_t max_cycles = 1ull << 40;  ///< runaway guard (aborts if hit)
+};
+
+class GpuSimulator {
+ public:
+  explicit GpuSimulator(const GpuConfig& config);
+
+  /// Simulates one launch to completion.  Aborts (assert) if the kernel's
+  /// per-block resources exceed one SM, or max_cycles is reached.
+  [[nodiscard]] LaunchResult run_launch(const trace::LaunchTraceSource& launch,
+                                        const RunOptions& options = {});
+
+  [[nodiscard]] const GpuConfig& config() const noexcept { return config_; }
+
+ private:
+  GpuConfig config_;
+};
+
+}  // namespace tbp::sim

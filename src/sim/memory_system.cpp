@@ -1,0 +1,206 @@
+#include "sim/memory_system.hpp"
+
+#include <cassert>
+
+namespace tbp::sim {
+
+MemorySystem::MemorySystem(const GpuConfig& config)
+    : config_(config), l2_(config.l2), dram_(config) {
+  l1_.reserve(config.n_sms);
+  for (std::uint32_t s = 0; s < config.n_sms; ++s) l1_.emplace_back(config.l1);
+  l1_mshr_.resize(config.n_sms);
+}
+
+bool MemorySystem::load(std::uint32_t sm_id, std::uint64_t line, WarpToken token,
+                        std::uint64_t cycle) {
+  if (l1_[sm_id].access(line)) return true;
+
+  auto& mshr = l1_mshr_[sm_id];
+  if (auto it = mshr.find(line); it != mshr.end()) {
+    it->second.waiters.push_back(token);
+    ++l1_mshr_merges_;
+    return false;
+  }
+  if (mshr.size() >= config_.l1_mshrs) {
+    ++l1_mshr_stalls_;
+    l1_overflow_.push_back(TimedRequest{
+        .ready = cycle, .line = line, .sm_id = sm_id, .token = token});
+    return false;
+  }
+  mshr.emplace(line, L1Mshr{.waiters = {token}});
+  send_to_l2(line, sm_id, /*is_store=*/false, cycle);
+  return false;
+}
+
+void MemorySystem::store(std::uint32_t sm_id, std::uint64_t line,
+                         std::uint64_t cycle) {
+  // Write-through no-allocate: refresh LRU if present, always forward.
+  if (l1_[sm_id].contains(line)) (void)l1_[sm_id].access(line);
+  send_to_l2(line, sm_id, /*is_store=*/true, cycle);
+}
+
+void MemorySystem::send_to_l2(std::uint64_t line, std::uint32_t sm_id, bool is_store,
+                              std::uint64_t cycle) {
+  l2_queue_.push_back(TimedRequest{
+      .ready = cycle + config_.lat.interconnect,
+      .line = line,
+      .sm_id = sm_id,
+      .is_store = is_store,
+  });
+}
+
+void MemorySystem::process_l2(std::uint64_t cycle) {
+  for (std::uint32_t port = 0; port < config_.l2_ports; ++port) {
+    if (l2_queue_.empty() || l2_queue_.front().ready > cycle) break;
+    const TimedRequest req = l2_queue_.front();
+    l2_queue_.pop_front();
+
+    if (req.is_store) {
+      if (l2_.contains(req.line)) {
+        (void)l2_.access(req.line);  // write-through update
+      } else {
+        dram_.push(req.line, /*is_store=*/true, cycle);
+      }
+      continue;
+    }
+
+    if (l2_.access(req.line)) {
+      l1_fills_.push(TimedFill{
+          .ready = cycle + config_.lat.l2_hit + config_.lat.interconnect,
+          .line = req.line,
+          .sm_id = req.sm_id,
+          .seq = fill_seq_++,
+      });
+      continue;
+    }
+    if (auto it = l2_mshr_.find(req.line); it != l2_mshr_.end()) {
+      it->second.push_back(req.sm_id);
+      ++l2_mshr_merges_;
+      continue;
+    }
+    // The L2 MSHR count is a capacity knob rather than a hard structural
+    // hazard here: overflowing requests are still accepted (they would
+    // otherwise need a second overflow queue) but counted, so configs that
+    // undersize the MSHRs are visible in stats.
+    l2_mshr_.emplace(req.line, std::vector<std::uint32_t>{req.sm_id});
+    dram_.push(req.line, /*is_store=*/false, cycle);
+  }
+}
+
+void MemorySystem::process_dram_replies(std::uint64_t cycle) {
+  dram_replies_scratch_.clear();
+  dram_.tick(cycle, dram_replies_scratch_);
+  for (const DramReply& reply : dram_replies_scratch_) {
+    l2_.fill(reply.line);
+    auto it = l2_mshr_.find(reply.line);
+    assert(it != l2_mshr_.end());
+    for (std::uint32_t sm_id : it->second) {
+      l1_fills_.push(TimedFill{
+          .ready = cycle + config_.lat.l2_hit + config_.lat.interconnect,
+          .line = reply.line,
+          .sm_id = sm_id,
+          .seq = fill_seq_++,
+      });
+    }
+    l2_mshr_.erase(it);
+  }
+}
+
+void MemorySystem::deliver_l1_fills(std::uint64_t cycle,
+                                    std::vector<MemCompletion>& completions) {
+  while (!l1_fills_.empty() && l1_fills_.top().ready <= cycle) {
+    const TimedFill fill = l1_fills_.top();
+    l1_fills_.pop();
+    l1_[fill.sm_id].fill(fill.line);
+    auto it = l1_mshr_[fill.sm_id].find(fill.line);
+    assert(it != l1_mshr_[fill.sm_id].end());
+    for (WarpToken token : it->second.waiters) {
+      completions.push_back(MemCompletion{.sm_id = fill.sm_id, .token = token});
+    }
+    l1_mshr_[fill.sm_id].erase(it);
+  }
+}
+
+void MemorySystem::retry_overflow(std::uint64_t cycle) {
+  // Bounded work per cycle: a saturated launch can hold hundreds of
+  // overflowed loads, and rescanning all of them every cycle dominated
+  // simulation time.  Entries that still find a full MSHR rotate to the
+  // back and are retried on a later cycle.
+  std::size_t n = std::min<std::size_t>(l1_overflow_.size(), 64);
+  while (n-- > 0) {
+    const TimedRequest req = l1_overflow_.front();
+    l1_overflow_.pop_front();
+    auto& mshr = l1_mshr_[req.sm_id];
+    // The line may have been filled while this request waited; probe again.
+    if (l1_[req.sm_id].contains(req.line)) {
+      (void)l1_[req.sm_id].access(req.line);
+      l1_fills_.push(TimedFill{
+          .ready = cycle + 1,  // hit-after-wait completes next cycle
+          .line = req.line,
+          .sm_id = req.sm_id,
+          .seq = fill_seq_++,
+      });
+      // Re-register the waiter so the fill delivery finds it.
+      mshr[req.line].waiters.push_back(req.token);
+      continue;
+    }
+    if (auto it = mshr.find(req.line); it != mshr.end()) {
+      it->second.waiters.push_back(req.token);
+      ++l1_mshr_merges_;
+      continue;
+    }
+    if (mshr.size() >= config_.l1_mshrs) {
+      l1_overflow_.push_back(req);  // still full; retry next cycle
+      continue;
+    }
+    mshr.emplace(req.line, L1Mshr{.waiters = {req.token}});
+    send_to_l2(req.line, req.sm_id, /*is_store=*/false, cycle);
+  }
+}
+
+void MemorySystem::tick(std::uint64_t cycle, std::vector<MemCompletion>& completions) {
+  if (!l1_overflow_.empty()) retry_overflow(cycle);
+  process_l2(cycle);
+  process_dram_replies(cycle);
+  deliver_l1_fills(cycle, completions);
+}
+
+bool MemorySystem::busy() const noexcept {
+  if (!l2_queue_.empty() || !l1_fills_.empty() || !l1_overflow_.empty()) return true;
+  if (!l2_mshr_.empty()) return true;
+  for (const auto& mshr : l1_mshr_) {
+    if (!mshr.empty()) return true;
+  }
+  return dram_.busy();
+}
+
+MemoryStats MemorySystem::stats() const {
+  MemoryStats out;
+  for (const SetAssocCache& cache : l1_) {
+    out.l1.hits += cache.stats().hits;
+    out.l1.misses += cache.stats().misses;
+  }
+  out.l2 = l2_.stats();
+  out.dram = dram_.aggregate_stats();
+  out.l1_mshr_merges = l1_mshr_merges_;
+  out.l2_mshr_merges = l2_mshr_merges_;
+  out.l1_mshr_stalls = l1_mshr_stalls_;
+  return out;
+}
+
+void MemorySystem::reset() {
+  for (SetAssocCache& cache : l1_) cache.reset();
+  l2_.reset();
+  dram_.reset();
+  for (auto& mshr : l1_mshr_) mshr.clear();
+  l1_overflow_.clear();
+  l2_queue_.clear();
+  l2_mshr_.clear();
+  while (!l1_fills_.empty()) l1_fills_.pop();
+  fill_seq_ = 0;
+  l1_mshr_merges_ = 0;
+  l2_mshr_merges_ = 0;
+  l1_mshr_stalls_ = 0;
+}
+
+}  // namespace tbp::sim

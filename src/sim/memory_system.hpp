@@ -1,0 +1,119 @@
+// The full memory hierarchy: per-SM L1s, a shared L2, and DRAM, glued with
+// MSHRs and latency-stamped queues.
+//
+// Loads: L1 probe at issue.  Hits are handled by the SM (fixed l1_hit
+// latency).  Misses allocate or merge into an L1 MSHR; a new miss travels
+// over the interconnect to the L2 input queue, probes L2 (bounded ports per
+// cycle), and on an L2 miss allocates/merges an L2 MSHR and enters a DRAM
+// channel queue.  Fills propagate back L2 -> L1 -> warp wakeup tokens.
+//
+// Stores: write-through, no-allocate at both levels; they consume L2 port
+// and DRAM bandwidth but never produce completions (the warp does not wait).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/dram.hpp"
+
+namespace tbp::sim {
+
+/// Opaque token identifying the (SM, block slot, warp) that issued a load.
+using WarpToken = std::uint32_t;
+
+struct MemCompletion {
+  std::uint32_t sm_id = 0;
+  WarpToken token = 0;
+};
+
+struct MemoryStats {
+  CacheStats l1;  ///< aggregated over SMs
+  CacheStats l2;
+  DramStats dram;
+  std::uint64_t l1_mshr_merges = 0;
+  std::uint64_t l2_mshr_merges = 0;
+  std::uint64_t l1_mshr_stalls = 0;  ///< requests that waited for a free MSHR
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const GpuConfig& config);
+
+  /// Issues one line-sized load.  Returns true on an L1 hit (the SM applies
+  /// its fixed hit latency); on a miss the `token` is woken through
+  /// `tick`'s completion list once the fill returns.
+  [[nodiscard]] bool load(std::uint32_t sm_id, std::uint64_t line, WarpToken token,
+                          std::uint64_t cycle);
+
+  /// Issues one line-sized write-through store (fire and forget).
+  void store(std::uint32_t sm_id, std::uint64_t line, std::uint64_t cycle);
+
+  /// Advances one cycle; appends warp wakeups to `completions`.
+  void tick(std::uint64_t cycle, std::vector<MemCompletion>& completions);
+
+  /// True while any request is in flight anywhere in the hierarchy.
+  [[nodiscard]] bool busy() const noexcept;
+
+  [[nodiscard]] MemoryStats stats() const;
+
+  /// Clears caches, MSHRs and queues (between independently simulated
+  /// launches).
+  void reset();
+
+ private:
+  struct L1Mshr {
+    std::vector<WarpToken> waiters;
+  };
+  struct TimedRequest {
+    std::uint64_t ready = 0;
+    std::uint64_t line = 0;
+    std::uint32_t sm_id = 0;
+    WarpToken token = 0;  ///< loads only
+    bool is_store = false;
+  };
+  struct TimedFill {
+    std::uint64_t ready = 0;
+    std::uint64_t line = 0;
+    std::uint32_t sm_id = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for determinism
+  };
+  struct LaterFill {
+    bool operator()(const TimedFill& a, const TimedFill& b) const noexcept {
+      return a.ready != b.ready ? a.ready > b.ready : a.seq > b.seq;
+    }
+  };
+
+  void send_to_l2(std::uint64_t line, std::uint32_t sm_id, bool is_store,
+                  std::uint64_t cycle);
+  void process_l2(std::uint64_t cycle);
+  void process_dram_replies(std::uint64_t cycle);
+  void deliver_l1_fills(std::uint64_t cycle, std::vector<MemCompletion>& completions);
+  void retry_overflow(std::uint64_t cycle);
+
+  const GpuConfig config_;
+  std::vector<SetAssocCache> l1_;  ///< one per SM
+  SetAssocCache l2_;
+  DramSystem dram_;
+
+  /// Per SM: line -> waiters.  An entry exists iff a fill is outstanding.
+  std::vector<std::unordered_map<std::uint64_t, L1Mshr>> l1_mshr_;
+  /// Loads that found the L1 MSHR full, retried in order each cycle.
+  std::deque<TimedRequest> l1_overflow_;
+
+  std::deque<TimedRequest> l2_queue_;  ///< arrival-ordered (uniform latency)
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> l2_mshr_;
+
+  std::priority_queue<TimedFill, std::vector<TimedFill>, LaterFill> l1_fills_;
+  std::vector<DramReply> dram_replies_scratch_;
+  std::uint64_t fill_seq_ = 0;
+  std::uint64_t l1_mshr_merges_ = 0;
+  std::uint64_t l2_mshr_merges_ = 0;
+  std::uint64_t l1_mshr_stalls_ = 0;
+};
+
+}  // namespace tbp::sim

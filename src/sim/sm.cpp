@@ -1,0 +1,233 @@
+#include "sim/sm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tbp::sim {
+
+SmCore::SmCore(std::uint32_t sm_id, const GpuConfig& config, MemorySystem& memory,
+               GlobalMeter& meter)
+    : sm_id_(sm_id), config_(&config), memory_(&memory), meter_(&meter) {}
+
+void SmCore::configure_launch(std::uint32_t n_slots, std::uint32_t warps_per_block) {
+  assert(n_slots >= 1);
+  assert(warps_per_block >= 1);
+  warps_per_block_ = warps_per_block;
+  free_slots_ = n_slots;
+  slots_.assign(n_slots, BlockSlot{});
+  warps_.assign(std::size_t{n_slots} * warps_per_block, WarpContext{});
+  rr_cursor_ = 0;
+  gto_current_ = ~0u;
+  retired_.clear();
+  earliest_ready_ = ~std::uint64_t{0};  // nothing to issue until a dispatch
+}
+
+void SmCore::dispatch_block(std::uint32_t block_id, trace::BlockTrace trace,
+                            std::uint64_t cycle) {
+  assert(free_slots_ > 0);
+  assert(trace.warps.size() == warps_per_block_);
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    BlockSlot& slot = slots_[s];
+    if (slot.active) continue;
+    slot.active = true;
+    slot.block_id = block_id;
+    slot.live_warps = warps_per_block_;
+    slot.barrier_waiting = 0;
+    slot.dispatch_seq = dispatch_counter_++;
+    slot.trace = std::move(trace);
+    for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
+      WarpContext& ctx = warps_[token_of(s, w)];
+      ctx.pc = 0;
+      ctx.state = WarpState::kReady;
+      ctx.ready_cycle = cycle;
+      ctx.outstanding = 0;
+    }
+    --free_slots_;
+    earliest_ready_ = std::min(earliest_ready_, cycle);
+    return;
+  }
+  assert(false && "dispatch_block called with no free slot");
+}
+
+void SmCore::issue(std::uint64_t cycle) {
+  if (cycle < earliest_ready_) return;
+  const std::uint32_t n_contexts = static_cast<std::uint32_t>(warps_.size());
+  if (n_contexts == 0) return;
+
+  std::uint64_t min_pending = ~std::uint64_t{0};
+  std::uint32_t chosen = n_contexts;  // sentinel: nothing issueable
+
+  const auto refresh = [&](std::uint32_t idx) -> bool {
+    // Converts an expired latency wait into Ready; returns issueability.
+    WarpContext& ctx = warps_[idx];
+    if (ctx.state == WarpState::kWaitLatency) {
+      if (ctx.ready_cycle <= cycle) {
+        ctx.state = WarpState::kReady;
+      } else {
+        min_pending = std::min(min_pending, ctx.ready_cycle);
+      }
+    }
+    return ctx.state == WarpState::kReady;
+  };
+
+  if (config_->scheduler == WarpScheduler::kGreedyThenOldest) {
+    // Greedy: stick with the last-issued warp while it can issue.
+    if (gto_current_ < n_contexts &&
+        slots_[gto_current_ / warps_per_block_].active &&
+        refresh(gto_current_)) {
+      chosen = gto_current_;
+    } else {
+      // Oldest: the ready warp whose block was dispatched earliest
+      // (warp index breaks ties within a block).
+      std::uint64_t best_age = ~std::uint64_t{0};
+      for (std::uint32_t idx = 0; idx < n_contexts; ++idx) {
+        const std::uint32_t slot_idx = idx / warps_per_block_;
+        if (!slots_[slot_idx].active) continue;
+        if (!refresh(idx)) continue;
+        if (slots_[slot_idx].dispatch_seq < best_age) {
+          best_age = slots_[slot_idx].dispatch_seq;
+          chosen = idx;
+        }
+      }
+    }
+  } else {
+    // Loose round-robin: first issueable warp after the last issued.
+    for (std::uint32_t probe = 0; probe < n_contexts; ++probe) {
+      const std::uint32_t idx = (rr_cursor_ + probe) % n_contexts;
+      if (!slots_[idx / warps_per_block_].active) continue;
+      if (refresh(idx)) {
+        chosen = idx;
+        break;
+      }
+    }
+  }
+
+  if (chosen == n_contexts) {
+    // Nothing issueable: sleep until the nearest latency expiry.  Memory
+    // completions, dispatches and barrier releases wake the SM earlier.
+    // (The failed scan covered every context, so min_pending is complete.)
+    earliest_ready_ = min_pending;
+    return;
+  }
+
+  const std::uint32_t slot_idx = chosen / warps_per_block_;
+  const std::uint32_t warp_idx = chosen % warps_per_block_;
+  WarpContext& ctx = warps_[chosen];
+  const auto& stream = slots_[slot_idx].trace.warps[warp_idx];
+  assert(ctx.pc < stream.size());
+  const trace::WarpInst& inst = stream[ctx.pc];
+  ++ctx.pc;
+  ++warp_insts_;
+  thread_insts_ += inst.active_threads;
+  meter_->record(inst);
+  execute(slot_idx, warp_idx, inst, cycle);
+  // Another warp may already be ready, so scan again next cycle.
+  rr_cursor_ = (chosen + 1) % n_contexts;
+  gto_current_ = chosen;
+  earliest_ready_ = cycle + 1;
+}
+
+void SmCore::execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
+                     const trace::WarpInst& inst, std::uint64_t cycle) {
+  WarpContext& ctx = warps_[token_of(slot_idx, warp_idx)];
+  BlockSlot& slot = slots_[slot_idx];
+  const Latencies& lat = config_->lat;
+
+  switch (inst.op) {
+    case trace::Op::kIntAlu:
+      ctx.state = WarpState::kWaitLatency;
+      ctx.ready_cycle = cycle + lat.int_alu;
+      break;
+    case trace::Op::kFloatAlu:
+      ctx.state = WarpState::kWaitLatency;
+      ctx.ready_cycle = cycle + lat.float_alu;
+      break;
+    case trace::Op::kSfu:
+      ctx.state = WarpState::kWaitLatency;
+      ctx.ready_cycle = cycle + lat.sfu;
+      break;
+    case trace::Op::kLoadShared:
+      ctx.state = WarpState::kWaitLatency;
+      ctx.ready_cycle = cycle + lat.shared_mem;
+      break;
+    case trace::Op::kLoadGlobal: {
+      std::uint32_t misses = 0;
+      for (std::uint32_t i = 0; i < inst.mem.n_lines; ++i) {
+        const std::uint64_t line =
+            inst.mem.base_line + std::uint64_t{i} * inst.mem.line_stride;
+        if (!memory_->load(sm_id_, line, token_of(slot_idx, warp_idx), cycle)) {
+          ++misses;
+        }
+      }
+      if (misses == 0) {
+        ctx.state = WarpState::kWaitLatency;
+        ctx.ready_cycle = cycle + lat.l1_hit;
+      } else {
+        ctx.state = WarpState::kWaitMem;
+        ctx.outstanding = misses;
+      }
+      break;
+    }
+    case trace::Op::kStoreGlobal:
+      for (std::uint32_t i = 0; i < inst.mem.n_lines; ++i) {
+        const std::uint64_t line =
+            inst.mem.base_line + std::uint64_t{i} * inst.mem.line_stride;
+        memory_->store(sm_id_, line, cycle);
+      }
+      ctx.state = WarpState::kWaitLatency;
+      ctx.ready_cycle = cycle + lat.store_issue;
+      break;
+    case trace::Op::kBarrier:
+      ctx.state = WarpState::kWaitBarrier;
+      ++slot.barrier_waiting;
+      release_barrier_if_ready(slot, slot_idx, cycle);
+      break;
+    case trace::Op::kExit:
+      ctx.state = WarpState::kDone;
+      assert(slot.live_warps > 0);
+      --slot.live_warps;
+      if (slot.live_warps == 0) {
+        retire_block(slot_idx);
+      } else {
+        release_barrier_if_ready(slot, slot_idx, cycle);
+      }
+      break;
+  }
+}
+
+void SmCore::release_barrier_if_ready(BlockSlot& slot, std::uint32_t slot_idx,
+                                      std::uint64_t cycle) {
+  if (slot.barrier_waiting == 0 || slot.barrier_waiting != slot.live_warps) return;
+  for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
+    WarpContext& ctx = warps_[token_of(slot_idx, w)];
+    if (ctx.state == WarpState::kWaitBarrier) {
+      ctx.state = WarpState::kWaitLatency;
+      ctx.ready_cycle = cycle + 1;
+    }
+  }
+  slot.barrier_waiting = 0;
+  earliest_ready_ = std::min(earliest_ready_, cycle + 1);
+}
+
+void SmCore::retire_block(std::uint32_t slot_idx) {
+  BlockSlot& slot = slots_[slot_idx];
+  retired_.push_back(slot.block_id);
+  slot.active = false;
+  slot.trace = trace::BlockTrace{};  // release the trace's memory
+  ++free_slots_;
+}
+
+void SmCore::on_mem_complete(WarpToken token, std::uint64_t cycle) {
+  WarpContext& ctx = warps_[token];
+  assert(ctx.outstanding > 0);
+  --ctx.outstanding;
+  if (ctx.outstanding == 0 && ctx.state == WarpState::kWaitMem) {
+    ctx.state = WarpState::kReady;
+    // Completions are delivered after this cycle's issue phase, so the
+    // earliest the warp can actually issue is the next cycle.
+    earliest_ready_ = std::min(earliest_ready_, cycle + 1);
+  }
+}
+
+}  // namespace tbp::sim

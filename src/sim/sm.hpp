@@ -1,0 +1,123 @@
+// One streaming multiprocessor: block slots, warp contexts, in-order
+// round-robin issue of one warp instruction per cycle (Table V front end),
+// a scoreboard-free serialized dependence model (a warp's next instruction
+// issues when its previous instruction completes), block-wide barriers, and
+// the load/store unit that expands coalesced footprints into line requests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/memory_system.hpp"
+#include "trace/kernel.hpp"
+
+namespace tbp::sim {
+
+/// Machine-wide issue counters shared by all SMs, used for sampling-unit
+/// metering; owned by GpuSimulator.
+struct GlobalMeter {
+  std::uint64_t warp_insts = 0;
+  std::uint64_t thread_insts = 0;
+  /// Basic-block histogram of the current fixed-size unit (empty when fixed
+  /// units are disabled).
+  std::vector<std::uint32_t> fixed_unit_bbv;
+
+  void record(const trace::WarpInst& inst) noexcept {
+    ++warp_insts;
+    thread_insts += inst.active_threads;
+    if (!fixed_unit_bbv.empty()) ++fixed_unit_bbv[inst.bb_id];
+  }
+};
+
+class SmCore {
+ public:
+  SmCore(std::uint32_t sm_id, const GpuConfig& config, MemorySystem& memory,
+         GlobalMeter& meter);
+
+  /// Sets per-launch geometry: block slots (SM occupancy) and warps/block.
+  void configure_launch(std::uint32_t n_slots, std::uint32_t warps_per_block);
+
+  [[nodiscard]] bool has_free_slot() const noexcept { return free_slots_ > 0; }
+  [[nodiscard]] bool idle() const noexcept {
+    return free_slots_ == static_cast<std::uint32_t>(slots_.size());
+  }
+
+  void dispatch_block(std::uint32_t block_id, trace::BlockTrace trace,
+                      std::uint64_t cycle);
+
+  /// Issues at most one warp instruction this cycle.
+  void issue(std::uint64_t cycle);
+
+  void on_mem_complete(WarpToken token, std::uint64_t cycle);
+
+  /// Blocks that retired since the last drain (in retirement order).
+  [[nodiscard]] std::vector<std::uint32_t>& retired() noexcept { return retired_; }
+
+  [[nodiscard]] std::uint64_t warp_insts() const noexcept { return warp_insts_; }
+  [[nodiscard]] std::uint64_t thread_insts() const noexcept { return thread_insts_; }
+  void reset_stats() noexcept {
+    warp_insts_ = 0;
+    thread_insts_ = 0;
+  }
+
+ private:
+  enum class WarpState : std::uint8_t {
+    kReady,
+    kWaitLatency,  ///< ready at ready_cycle
+    kWaitMem,      ///< outstanding line fills > 0
+    kWaitBarrier,
+    kDone,
+  };
+
+  struct WarpContext {
+    std::uint32_t pc = 0;
+    WarpState state = WarpState::kDone;
+    std::uint64_t ready_cycle = 0;
+    std::uint32_t outstanding = 0;
+  };
+
+  struct BlockSlot {
+    bool active = false;
+    std::uint32_t block_id = 0;
+    std::uint32_t live_warps = 0;
+    std::uint32_t barrier_waiting = 0;
+    std::uint64_t dispatch_seq = 0;  ///< age for greedy-then-oldest issue
+    trace::BlockTrace trace;
+  };
+
+  [[nodiscard]] WarpToken token_of(std::uint32_t slot, std::uint32_t warp)
+      const noexcept {
+    return slot * warps_per_block_ + warp;
+  }
+
+  void execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
+               const trace::WarpInst& inst, std::uint64_t cycle);
+  void release_barrier_if_ready(BlockSlot& slot, std::uint32_t slot_idx,
+                                std::uint64_t cycle);
+  void retire_block(std::uint32_t slot_idx);
+
+  std::uint32_t sm_id_;
+  const GpuConfig* config_;
+  MemorySystem* memory_;
+  GlobalMeter* meter_;
+
+  std::uint32_t warps_per_block_ = 0;
+  std::uint32_t free_slots_ = 0;
+  /// Earliest cycle at which any warp could possibly issue; lets issue()
+  /// skip the context scan entirely while every warp is stalled (the common
+  /// case in memory-bound phases).  Conservative: never later than the true
+  /// earliest issue cycle.
+  std::uint64_t earliest_ready_ = 0;
+  std::vector<BlockSlot> slots_;
+  std::vector<WarpContext> warps_;  ///< slots * warps_per_block, slot-major
+  std::uint32_t rr_cursor_ = 0;     ///< round-robin scan start
+  std::uint32_t gto_current_ = ~0u; ///< last-issued warp for GTO
+  std::uint64_t dispatch_counter_ = 0;
+  std::vector<std::uint32_t> retired_;
+
+  std::uint64_t warp_insts_ = 0;
+  std::uint64_t thread_insts_ = 0;
+};
+
+}  // namespace tbp::sim

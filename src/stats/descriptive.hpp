@@ -1,0 +1,67 @@
+// Descriptive statistics used throughout the sampling pipeline: coefficient
+// of variation for the variation factor (paper Eq. 5), geometric means for
+// headline error numbers, and a single-pass Welford accumulator for online
+// IPC measurement inside the simulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tbp::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divides by N).  Returns 0 for fewer than 2 samples.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Coefficient of variation: stddev / mean.  Returns 0 when the mean is 0
+/// (an all-zero sample is perfectly homogeneous for our purposes).
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+/// Geometric mean.  Non-positive inputs are clamped to `floor` first, which
+/// mirrors how sampling-error geomeans are conventionally reported (a 0%
+/// error would otherwise collapse the whole geomean to zero).
+[[nodiscard]] double geometric_mean(std::span<const double> xs,
+                                    double floor = 1e-6) noexcept;
+
+/// Linear-interpolated percentile, q in [0, 100].  Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+[[nodiscard]] double min_value(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_value(std::span<const double> xs) noexcept;
+
+/// Welford single-pass accumulator: numerically stable mean/variance without
+/// storing samples.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double coefficient_of_variation() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Normalizes each element by the mean of the span (paper Eq. 2 uses
+/// feature / avg_feature).  A zero mean yields all-zero output.
+[[nodiscard]] std::vector<double> normalize_by_mean(std::span<const double> xs);
+
+}  // namespace tbp::stats

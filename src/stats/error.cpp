@@ -1,0 +1,25 @@
+#include "stats/error.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+
+namespace tbp::stats {
+
+double relative_error(double predicted, double reference) noexcept {
+  if (reference == 0.0) {
+    return predicted == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(predicted - reference) / std::abs(reference);
+}
+
+double relative_error_pct(double predicted, double reference) noexcept {
+  return 100.0 * relative_error(predicted, reference);
+}
+
+double geomean_error_pct(std::span<const double> errors_pct, double floor_pct) noexcept {
+  return geometric_mean(errors_pct, floor_pct);
+}
+
+}  // namespace tbp::stats

@@ -1,0 +1,24 @@
+// Error metrics for comparing sampled-simulation predictions against full
+// simulations, matching how the paper reports "sampling error".
+#pragma once
+
+#include <span>
+
+namespace tbp::stats {
+
+/// |predicted - reference| / |reference|, in absolute fraction (0.0795 for
+/// the paper's 7.95%).  Returns 0 when reference is 0 and predicted is 0,
+/// and +inf when only the reference is 0.
+[[nodiscard]] double relative_error(double predicted, double reference) noexcept;
+
+/// Same, expressed in percent.
+[[nodiscard]] double relative_error_pct(double predicted, double reference) noexcept;
+
+/// Geometric mean of per-benchmark percentage errors, the paper's headline
+/// aggregation (e.g. "geometric means of sampling errors ... 0.47%").
+/// Zero errors are floored at `floor_pct` so one perfect benchmark does not
+/// zero out the aggregate.
+[[nodiscard]] double geomean_error_pct(std::span<const double> errors_pct,
+                                       double floor_pct = 0.1) noexcept;
+
+}  // namespace tbp::stats

@@ -1,0 +1,52 @@
+#include "stats/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tbp::stats {
+
+std::vector<double> Matrix::left_multiply(std::span<const double> v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const double* mrow = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += vi * mrow[j];
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += aik * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::max_row_sum_error() const noexcept {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += at(i, j);
+    worst = std::max(worst, std::abs(sum - 1.0));
+  }
+  return worst;
+}
+
+double l1_distance(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+}  // namespace tbp::stats

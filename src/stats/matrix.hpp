@@ -1,0 +1,54 @@
+// Small dense row-major matrix, sized for the Markov-chain transition
+// matrices in src/markov (2^N x 2^N with N <= ~10).  Row-major storage keeps
+// the hot vector-matrix product in power iteration streaming through memory.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tbp::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Row-vector times matrix: out[j] = sum_i v[i] * M(i, j).  This is the
+  /// update step of power iteration on a row-stochastic transition matrix.
+  [[nodiscard]] std::vector<double> left_multiply(std::span<const double> v) const;
+
+  /// Matrix product (used by tests to check T^n convergence independently).
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Max absolute row-sum deviation from 1 (stochasticity check).
+  [[nodiscard]] double max_row_sum_error() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// L1 distance between two equal-length vectors.
+[[nodiscard]] double l1_distance(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace tbp::stats

@@ -1,0 +1,178 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "stats/rng.hpp"
+
+namespace tbp::trace {
+namespace {
+
+/// Blocks are given disjoint default data partitions so streaming kernels
+/// do not accidentally alias; workloads can override via region_base_line.
+constexpr std::uint64_t kDefaultBlockPartitionLines = 1u << 10;
+
+struct WarpEmitter {
+  std::vector<WarpInst>& out;
+
+  void alu(std::uint16_t bb, std::uint8_t active, bool fp) {
+    out.push_back(WarpInst{.op = fp ? Op::kFloatAlu : Op::kIntAlu,
+                           .active_threads = active,
+                           .bb_id = bb,
+                           .mem = {}});
+  }
+
+  void sfu(std::uint16_t bb, std::uint8_t active) {
+    out.push_back(
+        WarpInst{.op = Op::kSfu, .active_threads = active, .bb_id = bb, .mem = {}});
+  }
+
+  void global(std::uint16_t bb, std::uint8_t active, bool store, MemFootprint fp) {
+    out.push_back(WarpInst{.op = store ? Op::kStoreGlobal : Op::kLoadGlobal,
+                           .active_threads = active,
+                           .bb_id = bb,
+                           .mem = fp});
+  }
+
+  void shared(std::uint16_t bb, std::uint8_t active) {
+    out.push_back(WarpInst{
+        .op = Op::kLoadShared, .active_threads = active, .bb_id = bb, .mem = {}});
+  }
+
+  void barrier(std::uint16_t bb) {
+    out.push_back(WarpInst{
+        .op = Op::kBarrier, .active_threads = kWarpSize, .bb_id = bb, .mem = {}});
+  }
+
+  void exit(std::uint16_t bb) {
+    out.push_back(WarpInst{
+        .op = Op::kExit, .active_threads = kWarpSize, .bb_id = bb, .mem = {}});
+  }
+};
+
+}  // namespace
+
+SyntheticLaunch::SyntheticLaunch(KernelInfo kernel, std::uint32_t n_blocks,
+                                 std::uint64_t seed, BehaviorFn behavior)
+    : kernel_(std::move(kernel)),
+      n_blocks_(n_blocks),
+      seed_(seed),
+      behavior_(std::move(behavior)) {
+  assert(kernel_.n_basic_blocks == kNumBasicBlocks);
+  assert(behavior_);
+}
+
+BlockTrace SyntheticLaunch::block_trace(std::uint32_t block_id) const {
+  assert(block_id < n_blocks_);
+  const BlockBehavior b = behavior_(block_id);
+  assert(b.lines_per_access >= 1 && b.lines_per_access <= kWarpSize);
+
+  const std::uint64_t block_base =
+      b.region_base_line != 0
+          ? b.region_base_line
+          : std::uint64_t{block_id} * kDefaultBlockPartitionLines;
+
+  BlockTrace result;
+  result.warps.resize(kernel_.warps_per_block());
+
+  for (std::uint32_t w = 0; w < result.warps.size(); ++w) {
+    // Independent, reproducible stream per (launch seed, block, warp).
+    stats::Rng rng =
+        stats::Rng(seed_).substream(block_id).substream(0xabcd0000u + w);
+    auto& stream = result.warps[w];
+    WarpEmitter emit{stream};
+
+    // Prologue: thread-id computation, parameter loads.
+    emit.alu(kBbPrologue, kWarpSize, false);
+    emit.alu(kBbPrologue, kWarpSize, false);
+
+    // Per-warp streaming cursor: warps advance through disjoint slices of
+    // the block's partition.
+    std::uint64_t stream_cursor =
+        block_base + std::uint64_t{w} * std::max<std::uint64_t>(
+                                            1, b.working_set_lines /
+                                                   std::max<std::size_t>(
+                                                       result.warps.size(), 1));
+
+    const auto make_footprint = [&](bool store) {
+      MemFootprint fp;
+      fp.n_lines = b.lines_per_access;
+      switch (b.pattern) {
+        case AddressPattern::kStreaming:
+          fp.base_line = stream_cursor;
+          fp.line_stride = 1;
+          stream_cursor += b.lines_per_access;
+          break;
+        case AddressPattern::kStrided:
+          fp.base_line = stream_cursor;
+          fp.line_stride = b.stride_lines;
+          stream_cursor += std::uint64_t{b.stride_lines} * b.lines_per_access;
+          break;
+        case AddressPattern::kRandom:
+          fp.base_line =
+              block_base + rng.below(std::max<std::uint64_t>(b.working_set_lines, 1));
+          fp.line_stride = 1;
+          break;
+      }
+      (void)store;
+      return fp;
+    };
+
+    for (std::uint32_t iter = 0; iter < b.loop_iterations; ++iter) {
+      const bool diverged =
+          b.branch_divergence > 0.0 && rng.bernoulli(b.branch_divergence);
+      // A taken divergent branch splits the warp: `taken` threads run the
+      // divergent path, the rest re-run the main path.  Thread-instruction
+      // counts stay comparable while warp-instruction counts grow — exactly
+      // the control-flow-divergence signature Eq. 2's second feature
+      // captures.
+      const auto taken =
+          diverged ? static_cast<std::uint8_t>(8 + rng.below(17)) : std::uint8_t{0};
+      const auto main_active =
+          diverged ? static_cast<std::uint8_t>(kWarpSize - taken)
+                   : static_cast<std::uint8_t>(kWarpSize);
+
+      for (std::uint32_t i = 0; i < b.alu_per_iteration; ++i) {
+        emit.alu(kBbLoopAlu, main_active, (i % 2) == 1);
+      }
+      for (std::uint32_t i = 0; i < b.sfu_per_iteration; ++i) {
+        emit.sfu(kBbLoopAlu, main_active);
+      }
+      for (std::uint32_t i = 0; i < b.mem_per_iteration; ++i) {
+        emit.global(kBbLoopLoad, main_active, false, make_footprint(false));
+      }
+      if (diverged) {
+        for (std::uint32_t i = 0; i < b.alu_per_iteration; ++i) {
+          emit.alu(kBbDivergent, taken, (i % 2) == 0);
+        }
+        for (std::uint32_t i = 0; i < b.mem_per_iteration; ++i) {
+          emit.global(kBbDivergent, taken, false, make_footprint(false));
+        }
+      }
+      for (std::uint32_t i = 0; i < b.shared_per_iteration; ++i) {
+        emit.shared(kBbLoopShared, main_active);
+      }
+      for (std::uint32_t i = 0; i < b.stores_per_iteration; ++i) {
+        emit.global(kBbLoopStore, main_active, true, make_footprint(true));
+      }
+      if (b.barrier_per_iteration) emit.barrier(kBbLoopAlu);
+    }
+
+    emit.alu(kBbEpilogue, kWarpSize, false);
+    emit.exit(kBbExit);
+  }
+  return result;
+}
+
+KernelInfo make_synthetic_kernel_info(std::string name) {
+  KernelInfo info;
+  info.name = std::move(name);
+  info.threads_per_block = 256;
+  info.registers_per_thread = 20;
+  info.shared_mem_per_block = 4096;
+  info.n_basic_blocks = kNumBasicBlocks;
+  return info;
+}
+
+}  // namespace tbp::trace

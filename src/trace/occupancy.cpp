@@ -1,0 +1,26 @@
+#include "trace/occupancy.hpp"
+
+#include <algorithm>
+
+namespace tbp::trace {
+
+std::uint32_t sm_occupancy(const KernelInfo& kernel,
+                           const SmResources& resources) noexcept {
+  const std::uint32_t by_threads = resources.max_threads / kernel.threads_per_block;
+  const std::uint32_t regs_per_block =
+      kernel.registers_per_thread * kernel.threads_per_block;
+  const std::uint32_t by_registers =
+      regs_per_block == 0 ? resources.max_blocks : resources.registers / regs_per_block;
+  const std::uint32_t by_shared =
+      kernel.shared_mem_per_block == 0
+          ? resources.max_blocks
+          : resources.shared_mem_bytes / kernel.shared_mem_per_block;
+  return std::min({by_threads, resources.max_blocks, by_registers, by_shared});
+}
+
+std::uint32_t system_occupancy(const KernelInfo& kernel, const SmResources& resources,
+                               std::uint32_t n_sms) noexcept {
+  return sm_occupancy(kernel, resources) * n_sms;
+}
+
+}  // namespace tbp::trace

@@ -1,0 +1,33 @@
+// CUDA-style occupancy calculation.
+//
+// TBPoint's epoch size equals the *system occupancy*: the maximum number of
+// thread blocks resident across the whole GPU (paper Eq. 4 and Fig. 1).
+// SM occupancy is limited by four resources: thread contexts, block slots,
+// registers and shared memory.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/kernel.hpp"
+
+namespace tbp::trace {
+
+struct SmResources {
+  std::uint32_t max_threads = 1536;       ///< Fermi: 48 warps * 32
+  std::uint32_t max_blocks = 8;
+  std::uint32_t registers = 32768;
+  std::uint32_t shared_mem_bytes = 49152;
+};
+
+/// Maximum concurrent blocks of `kernel` on one SM ("SM occupancy").
+/// Returns 0 when a single block exceeds an SM's resources.
+[[nodiscard]] std::uint32_t sm_occupancy(const KernelInfo& kernel,
+                                         const SmResources& resources) noexcept;
+
+/// SM occupancy times the SM count ("system occupancy"); the epoch size of
+/// intra-launch sampling.
+[[nodiscard]] std::uint32_t system_occupancy(const KernelInfo& kernel,
+                                             const SmResources& resources,
+                                             std::uint32_t n_sms) noexcept;
+
+}  // namespace tbp::trace

@@ -1,0 +1,88 @@
+#include "trace/validate.hpp"
+
+#include <sstream>
+
+namespace tbp::trace {
+
+std::string ValidationReport::summary(std::size_t max_issues) const {
+  std::ostringstream out;
+  out << issues.size() << " issue(s)";
+  for (std::size_t i = 0; i < issues.size() && i < max_issues; ++i) {
+    out << "; warp " << issues[i].warp << " @" << issues[i].position << ": "
+        << issues[i].message;
+  }
+  return out.str();
+}
+
+ValidationReport validate_block_trace(const KernelInfo& kernel,
+                                      const BlockTrace& trace) {
+  ValidationReport report;
+  const auto issue = [&](std::uint32_t warp, std::size_t pos, std::string msg) {
+    report.issues.push_back(
+        ValidationIssue{.warp = warp, .position = pos, .message = std::move(msg)});
+  };
+
+  if (trace.warps.size() != kernel.warps_per_block()) {
+    issue(0, 0, "warp count does not match kernel warps_per_block");
+    return report;
+  }
+
+  std::vector<std::size_t> barrier_counts(trace.warps.size(), 0);
+  for (std::uint32_t w = 0; w < trace.warps.size(); ++w) {
+    const auto& stream = trace.warps[w];
+    if (stream.empty()) {
+      issue(w, 0, "empty warp stream");
+      continue;
+    }
+    bool exited = false;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const WarpInst& inst = stream[i];
+      if (exited) {
+        issue(w, i, "instruction after kExit");
+        break;
+      }
+      if (inst.active_threads < 1 || inst.active_threads > kWarpSize) {
+        issue(w, i, "active_threads out of [1, 32]");
+      }
+      if (inst.bb_id >= kernel.n_basic_blocks) {
+        issue(w, i, "bb_id out of range");
+      }
+      if (is_global_memory(inst.op)) {
+        if (inst.mem.n_lines < 1 || inst.mem.n_lines > kWarpSize) {
+          issue(w, i, "memory footprint lines out of [1, 32]");
+        }
+        if (inst.mem.line_stride < 1) {
+          issue(w, i, "memory footprint stride below 1");
+        }
+      }
+      if (inst.op == Op::kBarrier) ++barrier_counts[w];
+      if (inst.op == Op::kExit) exited = true;
+    }
+    if (!exited) issue(w, stream.size(), "stream does not end with kExit");
+  }
+
+  for (std::uint32_t w = 1; w < trace.warps.size(); ++w) {
+    if (barrier_counts[w] != barrier_counts[0]) {
+      issue(w, trace.warps[w].size(),
+            "barrier count differs across warps (deadlocks the block)");
+      break;
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_launch(const LaunchTraceSource& launch,
+                                 std::size_t max_issues) {
+  ValidationReport report;
+  for (std::uint32_t b = 0; b < launch.n_blocks(); ++b) {
+    ValidationReport block_report =
+        validate_block_trace(launch.kernel(), launch.block_trace(b));
+    for (ValidationIssue& i : block_report.issues) {
+      report.issues.push_back(std::move(i));
+      if (report.issues.size() >= max_issues) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace tbp::trace

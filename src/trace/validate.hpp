@@ -1,0 +1,46 @@
+// Trace invariant validation.
+//
+// The simulator and profiler both assume well-formed warp streams (every
+// warp ends in exactly one kExit, barriers are block-uniform, footprints
+// are sane).  Custom LaunchTraceSource implementations (the
+// examples/custom_kernel path) are the place these assumptions break, so
+// the validator gives downstream users a checkable contract; the harness
+// tests run it over every built-in workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/kernel.hpp"
+
+namespace tbp::trace {
+
+struct ValidationIssue {
+  std::uint32_t warp = 0;
+  std::size_t position = 0;  ///< instruction index, or stream size for stream-level issues
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  /// One-line rendering of the first few issues (for error messages).
+  [[nodiscard]] std::string summary(std::size_t max_issues = 3) const;
+};
+
+/// Checks one block trace against the simulator's contract:
+///  * the warp count matches the kernel's warps_per_block,
+///  * every warp stream is non-empty and ends with exactly one kExit,
+///  * no instruction follows kExit,
+///  * active_threads is in [1, 32],
+///  * global memory ops touch 1..32 lines with stride >= 1,
+///  * every warp executes the same number of barriers (block-uniform).
+[[nodiscard]] ValidationReport validate_block_trace(const KernelInfo& kernel,
+                                                    const BlockTrace& trace);
+
+/// Validates every block of a launch; stops after `max_issues` issues.
+[[nodiscard]] ValidationReport validate_launch(const LaunchTraceSource& launch,
+                                               std::size_t max_issues = 16);
+
+}  // namespace tbp::trace

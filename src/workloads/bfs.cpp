@@ -1,0 +1,72 @@
+// bfs — lonestar breadth-first search (Table VI: irregular, 10 619 blocks).
+//
+// Level-synchronous BFS launches one kernel per frontier level, so the
+// launch sizes trace the frontier curve: a few small launches, a bulge in
+// the middle levels of the graph, then a tail.  Launches therefore have
+// *heterogeneous* sizes and inter-launch sampling cannot collapse them —
+// the paper's Fig. 11 shows bfs's savings coming mostly from intra-launch
+// sampling.  Within a launch, per-block work follows the (power-law) degree
+// distribution of the vertices the block's threads own: irregular block
+// sizes (Fig. 8b), scattered gather accesses with poor coalescing, and
+// branch divergence from the frontier membership test.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_bfs(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 14;
+  constexpr std::uint32_t kTotalBlocks = 10619;
+
+  Workload workload;
+  workload.name = "bfs";
+  workload.suite = "lonestar";
+  workload.type = KernelType::kIrregular;
+
+  // 512-thread blocks: graph kernels trade occupancy for per-block state.
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("bfs_kernel");
+  kernel.threads_per_block = 512;
+  kernel.registers_per_thread = 24;
+  kernel.shared_mem_per_block = 8192;
+
+  stats::Rng rng = workload_rng(scale, workload.name);
+  // bfs is small (10 619 blocks) and its intra-launch epoch structure is the
+  // point of the benchmark, so it is never scaled down.
+  const std::vector<std::uint32_t> sizes = bell_curve_launch_sizes(
+      kTotalBlocks, kLaunches, /*center=*/7.0, /*width=*/2.5, /*min_per_launch=*/24);
+
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    const std::uint32_t n_blocks = sizes[l];
+    stats::Rng launch_rng = rng.substream(l);
+
+    // Frontier density varies by level: middle levels touch denser parts
+    // of the graph, so their blocks do more work per vertex.
+    const std::uint32_t level_iters =
+        4 + (l >= 4 && l <= 9 ? 4 : 0) + (l % 3);
+
+    std::vector<trace::BlockBehavior> behaviors(n_blocks);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      trace::BlockBehavior& bb = behaviors[b];
+      // A block owns ~512 vertices, so its total degree concentrates near
+      // the mean (small noise); occasional hub-heavy blocks are genuine
+      // outliers that the variation factor is designed to catch.
+      const double hub = launch_rng.uniform();
+      bb.loop_iterations =
+          level_iters + static_cast<std::uint32_t>(launch_rng.below(2)) +
+          (hub > 0.9985 ? level_iters * 6 : 0);
+      bb.alu_per_iteration = 5;
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.branch_divergence = 0.25;
+      bb.lines_per_access = 2;  // neighbor-list gathers, partially coalesced
+      bb.pattern = trace::AddressPattern::kRandom;
+      bb.region_base_line = 1u << 22;      // whole graph shared by all blocks
+      bb.working_set_lines = 1u << 15;     // 4 MB: several times the L2
+    }
+    workload.launches.push_back(
+        make_launch(kernel, scale.seed ^ (0xbf500 + l), std::move(behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

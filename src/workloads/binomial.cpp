@@ -1,0 +1,50 @@
+// binomial — CUDA SDK binomial option pricing.
+//
+// Not a Table VI row, but the paper's Fig. 11 discussion names it alongside
+// hotspot as the other single-launch kernel ("except binomial and hotspot,
+// which only have one kernel launch"), so the model is provided for
+// completeness; it is not part of workload_names()' default twelve.
+//
+// One launch prices a batch of options; each block walks a recombining
+// binomial tree: a transcendental-heavy (SFU) backward induction over the
+// tree levels staged in shared memory behind a per-level barrier.  Blocks
+// are uniform — another cleanly regular, intra-launch-only benchmark.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_binomial(const WorkloadScale& scale) {
+  constexpr std::uint32_t kBlocks = 8192;
+
+  Workload workload;
+  workload.name = "binomial";
+  workload.suite = "sdk";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("binomial_tree");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 22;
+  kernel.shared_mem_per_block = 6144;  // one tree level per block
+
+  const std::uint32_t n_blocks = scaled_blocks(kBlocks, scale);
+  std::vector<trace::BlockBehavior> behaviors(n_blocks);
+  for (auto& bb : behaviors) {
+    bb.loop_iterations = 12;  // tree levels
+    bb.alu_per_iteration = 4;
+    bb.sfu_per_iteration = 2;  // discounting exp()s
+    bb.mem_per_iteration = 1;
+    bb.stores_per_iteration = 1;
+    bb.shared_per_iteration = 3;  // neighbouring nodes of the level
+    bb.barrier_per_iteration = true;
+    bb.branch_divergence = 0.0;
+    bb.lines_per_access = 1;
+    bb.pattern = trace::AddressPattern::kStreaming;
+    bb.working_set_lines = 1u << 12;
+  }
+  workload.launches.push_back(
+      make_launch(kernel, scale.seed ^ 0xb19091a1, std::move(behaviors)));
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

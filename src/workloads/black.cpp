@@ -1,0 +1,61 @@
+// black — CUDA SDK BlackScholes option pricing (Table VI: regular Type II,
+// 41 760 blocks over 8 launches).
+//
+// Embarrassingly parallel closed-form pricing: every thread reads one
+// option, evaluates the Black-Scholes formula (transcendental-heavy: CNDF
+// uses exp/log/sqrt, modeled as SFU instructions) and writes two results.
+// Perfectly coalesced streaming I/O, zero divergence, uniform blocks —
+// the canonical regular kernel.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_black(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 8;
+  constexpr std::uint32_t kBlocksPerLaunch = 41760 / kLaunches;
+
+  Workload workload;
+  workload.name = "black";
+  workload.suite = "sdk";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("black_scholes");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 20;
+  kernel.shared_mem_per_block = 0;
+
+  // Each launch prices another batch of structurally identical options:
+  // one behaviour table shared by all launches.
+  const std::uint32_t n_blocks = scaled_blocks(kBlocksPerLaunch, scale);
+  std::vector<trace::BlockBehavior> behaviors(n_blocks);
+  {
+    for (auto& bb : behaviors) {
+      bb.loop_iterations = 10;
+      bb.alu_per_iteration = 4;
+      bb.sfu_per_iteration = 3;  // exp/log/sqrt of the CNDF
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.branch_divergence = 0.0;
+      bb.lines_per_access = 1;
+      bb.pattern = trace::AddressPattern::kStreaming;
+      bb.working_set_lines = 1u << 12;
+    }
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    // Each launch processes a different chunk of memory: identical counts
+    // (so Eq. 2 features coincide exactly and the launches cluster), but
+    // shifted addresses give channel/bank alignments — and therefore IPCs —
+    // that differ slightly from launch to launch.
+    std::vector<trace::BlockBehavior> launch_behaviors(behaviors);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      launch_behaviors[b].region_base_line =
+          (std::uint64_t{l} + 1) * (1ull << 26) + std::uint64_t{b} * 1024;
+    }
+    workload.launches.push_back(make_launch(
+        kernel, scale.seed ^ (0xb1ac0 + l), std::move(launch_behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

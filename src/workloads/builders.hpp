@@ -1,0 +1,24 @@
+// Internal: one builder per Table VI benchmark.  Implemented in the
+// same-named .cpp files; dispatched by registry.cpp.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace tbp::workloads::detail {
+
+[[nodiscard]] Workload make_bfs(const WorkloadScale& scale);
+[[nodiscard]] Workload make_sssp(const WorkloadScale& scale);
+[[nodiscard]] Workload make_mst(const WorkloadScale& scale);
+[[nodiscard]] Workload make_mri(const WorkloadScale& scale);
+[[nodiscard]] Workload make_spmv(const WorkloadScale& scale);
+[[nodiscard]] Workload make_lbm(const WorkloadScale& scale);
+[[nodiscard]] Workload make_cfd(const WorkloadScale& scale);
+[[nodiscard]] Workload make_kmeans(const WorkloadScale& scale);
+[[nodiscard]] Workload make_hotspot(const WorkloadScale& scale);
+[[nodiscard]] Workload make_stream(const WorkloadScale& scale);
+[[nodiscard]] Workload make_black(const WorkloadScale& scale);
+[[nodiscard]] Workload make_conv(const WorkloadScale& scale);
+/// Fig. 11 companion benchmark; not in the default Table VI twelve.
+[[nodiscard]] Workload make_binomial(const WorkloadScale& scale);
+
+}  // namespace tbp::workloads::detail

@@ -1,0 +1,64 @@
+// cfd — rodinia computational fluid dynamics / Euler solver (Table VI:
+// regular Type II, 100 launches, 50 600 blocks).
+//
+// An explicit time-stepping solver: 100 identical-shaped launches of 506
+// uniform blocks each.  Flux computation mixes moderate arithmetic with
+// neighbour reads through an unstructured-mesh indirection (modeled as
+// 2-line partially coalesced loads).  A 1-2% per-launch jitter in trip
+// counts keeps launches clustered together while their IPCs differ
+// slightly, so inter-launch sampling is exercised rather than trivially
+// exact.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_cfd(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 100;
+  constexpr std::uint32_t kBlocksPerLaunch = 50600 / kLaunches;
+
+  Workload workload;
+  workload.name = "cfd";
+  workload.suite = "rodinia";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("cfd_flux");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 28;
+  kernel.shared_mem_per_block = 4096;
+
+  // Explicit time stepping re-runs the identical flux kernel on the same
+  // mesh: one behaviour table shared by all 100 launches (their Eq. 2
+  // features coincide exactly, so inter-launch clustering collapses them).
+  const std::uint32_t n_blocks = scaled_blocks(kBlocksPerLaunch, scale);
+  std::vector<trace::BlockBehavior> behaviors(n_blocks);
+  {
+    for (auto& bb : behaviors) {
+      bb.loop_iterations = 12;
+      bb.alu_per_iteration = 6;
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.shared_per_iteration = 1;
+      bb.branch_divergence = 0.0;
+      bb.lines_per_access = 1;  // mesh reordered for coalescing
+      bb.pattern = trace::AddressPattern::kStreaming;
+      bb.working_set_lines = 1u << 12;
+    }
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    // Each launch processes a different chunk of memory: identical counts
+    // (so Eq. 2 features coincide exactly and the launches cluster), but
+    // shifted addresses give channel/bank alignments — and therefore IPCs —
+    // that differ slightly from launch to launch.
+    std::vector<trace::BlockBehavior> launch_behaviors(behaviors);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      launch_behaviors[b].region_base_line =
+          (std::uint64_t{l} + 1) * (1ull << 26) + std::uint64_t{b} * 1024;
+    }
+    workload.launches.push_back(make_launch(
+        kernel, scale.seed ^ (0xcfd00 + l), std::move(launch_behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

@@ -1,0 +1,55 @@
+#include "workloads/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace tbp::workloads::detail {
+
+std::uint32_t scaled_blocks(std::uint32_t original,
+                            const WorkloadScale& scale) noexcept {
+  const std::uint32_t floor_blocks = std::min(original, kMinBlocksPerLaunch);
+  return std::max(original / std::max(scale.divisor, 1u), floor_blocks);
+}
+
+std::unique_ptr<trace::SyntheticLaunch> make_launch(
+    const trace::KernelInfo& kernel, std::uint64_t seed,
+    std::vector<trace::BlockBehavior> behaviors) {
+  const auto n_blocks = static_cast<std::uint32_t>(behaviors.size());
+  auto table = std::make_shared<std::vector<trace::BlockBehavior>>(
+      std::move(behaviors));
+  return std::make_unique<trace::SyntheticLaunch>(
+      kernel, n_blocks, seed,
+      [table](std::uint32_t block_id) { return (*table)[block_id]; });
+}
+
+std::vector<std::uint32_t> bell_curve_launch_sizes(std::uint32_t total_blocks,
+                                                   std::uint32_t n_launches,
+                                                   double center, double width,
+                                                   std::uint32_t min_per_launch) {
+  std::vector<double> weights(n_launches);
+  double sum = 0.0;
+  for (std::uint32_t l = 0; l < n_launches; ++l) {
+    const double z = (static_cast<double>(l) - center) / width;
+    weights[l] = std::exp(-z * z);
+    sum += weights[l];
+  }
+  std::vector<std::uint32_t> sizes(n_launches);
+  for (std::uint32_t l = 0; l < n_launches; ++l) {
+    sizes[l] = std::max(
+        min_per_launch, static_cast<std::uint32_t>(
+                            weights[l] / sum * static_cast<double>(total_blocks)));
+  }
+  return sizes;
+}
+
+stats::Rng workload_rng(const WorkloadScale& scale, std::string_view workload_name) {
+  std::uint64_t tag = 0xcbf29ce484222325ULL;  // FNV-1a over the name
+  for (char c : workload_name) {
+    tag ^= static_cast<unsigned char>(c);
+    tag *= 0x100000001b3ULL;
+  }
+  return stats::Rng(scale.seed).substream(tag);
+}
+
+}  // namespace tbp::workloads::detail

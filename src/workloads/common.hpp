@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark model builders (internal to
+// src/workloads).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "trace/generator.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::workloads::detail {
+
+/// Applies the scale divisor to an original per-launch block count.  Small
+/// launches are preserved: scaling never pushes a launch below
+/// min(original, kMinBlocksPerLaunch).
+[[nodiscard]] std::uint32_t scaled_blocks(std::uint32_t original,
+                                          const WorkloadScale& scale) noexcept;
+
+inline constexpr std::uint32_t kMinBlocksPerLaunch = 24;
+
+/// Builds a launch whose per-block behaviour is table-driven: `behaviors[b]`
+/// fully describes block b.  The table is shared with the launch's
+/// BehaviorFn, keeping block_trace() a pure function of the block id.
+[[nodiscard]] std::unique_ptr<trace::SyntheticLaunch> make_launch(
+    const trace::KernelInfo& kernel, std::uint64_t seed,
+    std::vector<trace::BlockBehavior> behaviors);
+
+/// Splits `total_blocks` across `n_launches` proportionally to a Gaussian
+/// bell over the launch index (BFS/SSSP frontier curves).  Every launch gets
+/// at least `min_per_launch` blocks.
+[[nodiscard]] std::vector<std::uint32_t> bell_curve_launch_sizes(
+    std::uint32_t total_blocks, std::uint32_t n_launches, double center,
+    double width, std::uint32_t min_per_launch);
+
+/// Deterministic per-workload RNG stream.
+[[nodiscard]] stats::Rng workload_rng(const WorkloadScale& scale,
+                                      std::string_view workload_name);
+
+}  // namespace tbp::workloads::detail

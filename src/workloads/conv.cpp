@@ -1,0 +1,63 @@
+// conv — CUDA SDK convolutionSeparable (Table VI: regular Type II,
+// 202 752 blocks over 16 launches; the largest benchmark).
+//
+// Separable convolution applies a 1-D filter along rows: each block stages
+// a tile (plus apron) into shared memory behind a barrier, then each thread
+// accumulates the filter taps.  Uniform blocks, fully coalesced tile loads,
+// shared-memory-dominated inner loop.  With 12 672 blocks per launch, conv
+// is the benchmark where even one launch is expensive and intra-launch
+// fast-forwarding pays the most in absolute terms.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_conv(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 16;
+  constexpr std::uint32_t kBlocksPerLaunch = 202752 / kLaunches;
+
+  Workload workload;
+  workload.name = "conv";
+  workload.suite = "sdk";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("conv_rows");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 16;
+  kernel.shared_mem_per_block = 8192;
+
+  // Every launch filters another identical image tile row: one behaviour
+  // table shared by all launches.
+  const std::uint32_t n_blocks = scaled_blocks(kBlocksPerLaunch, scale);
+  std::vector<trace::BlockBehavior> behaviors(n_blocks);
+  {
+    for (auto& bb : behaviors) {
+      bb.loop_iterations = 8;
+      bb.alu_per_iteration = 5;
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.shared_per_iteration = 4;  // filter taps out of the staged tile
+      bb.barrier_per_iteration = true;
+      bb.branch_divergence = 0.0;
+      bb.lines_per_access = 1;
+      bb.pattern = trace::AddressPattern::kStreaming;
+      bb.working_set_lines = 1u << 12;
+    }
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    // Each launch processes a different chunk of memory: identical counts
+    // (so Eq. 2 features coincide exactly and the launches cluster), but
+    // shifted addresses give channel/bank alignments — and therefore IPCs —
+    // that differ slightly from launch to launch.
+    std::vector<trace::BlockBehavior> launch_behaviors(behaviors);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      launch_behaviors[b].region_base_line =
+          (std::uint64_t{l} + 1) * (1ull << 26) + std::uint64_t{b} * 1024;
+    }
+    workload.launches.push_back(make_launch(
+        kernel, scale.seed ^ (0xc09f0 + l), std::move(launch_behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

@@ -1,0 +1,53 @@
+// hotspot — rodinia thermal simulation (Table VI: regular Type II,
+// a SINGLE launch of 1 849 blocks on a 43x43 block grid).
+//
+// The paper singles hotspot out (with binomial) as having only one kernel
+// launch, so inter-launch sampling saves nothing and all of TBPoint's
+// savings must come from intra-launch sampling (Fig. 11).  The model is a
+// shared-memory tiled stencil with a per-iteration barrier; blocks on the
+// grid border process halo cells and run one iteration fewer — a *periodic*
+// block-size pattern against block id, the signature regular shape of
+// Fig. 8a.  hotspot is small and is never scaled down.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_hotspot(const WorkloadScale& scale) {
+  constexpr std::uint32_t kGridDim = 43;  // 43 * 43 = 1849 blocks
+  constexpr std::uint32_t kBlocks = kGridDim * kGridDim;
+
+  Workload workload;
+  workload.name = "hotspot";
+  workload.suite = "rodinia";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("hotspot_stencil");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 24;
+  kernel.shared_mem_per_block = 12288;  // tile + halo in shared memory
+
+  std::vector<trace::BlockBehavior> behaviors(kBlocks);
+  for (std::uint32_t b = 0; b < kBlocks; ++b) {
+    const std::uint32_t row = b / kGridDim;
+    const std::uint32_t col = b % kGridDim;
+    const bool border =
+        row == 0 || col == 0 || row == kGridDim - 1 || col == kGridDim - 1;
+    trace::BlockBehavior& bb = behaviors[b];
+    bb.loop_iterations = border ? 9 : 10;
+    bb.alu_per_iteration = 6;
+    bb.mem_per_iteration = 2;
+    bb.stores_per_iteration = 1;
+    bb.shared_per_iteration = 2;
+    bb.barrier_per_iteration = true;
+    bb.branch_divergence = 0.0;
+    bb.lines_per_access = 1;
+    bb.pattern = trace::AddressPattern::kStreaming;
+    bb.working_set_lines = 1u << 12;
+  }
+  workload.launches.push_back(
+      make_launch(kernel, scale.seed ^ 0x407590, std::move(behaviors)));
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

@@ -1,0 +1,54 @@
+// kmeans — rodinia k-means clustering (Table VI: regular Type II,
+// 30 launches, 58 080 blocks).
+//
+// Each solver iteration relaunches the assignment kernel: every thread
+// scans the (small) centroid table and accumulates distances, so the
+// kernel is compute-dominated with a working set that fits comfortably in
+// L2 — the high-IPC end of the suite.  Launches are identical except for a
+// tiny jitter (centroid movement changes nothing structurally).
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_kmeans(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 30;
+  constexpr std::uint32_t kBlocksPerLaunch = 58080 / kLaunches;
+
+  Workload workload;
+  workload.name = "kmeans";
+  workload.suite = "rodinia";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("kmeans_assign");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 18;
+  kernel.shared_mem_per_block = 2048;
+
+  // Every solver iteration re-runs the same assignment kernel on the same
+  // points: one behaviour table shared by all launches, so their Eq. 2
+  // features are identical and inter-launch clustering collapses them.
+  // Launch-to-launch IPC still varies slightly through the per-launch
+  // trace seeds (different centroid-access interleavings).
+  const std::uint32_t n_blocks = scaled_blocks(kBlocksPerLaunch, scale);
+  std::vector<trace::BlockBehavior> behaviors(n_blocks);
+  for (auto& bb : behaviors) {
+    bb.loop_iterations = 14;
+    bb.alu_per_iteration = 8;
+    bb.mem_per_iteration = 1;
+    bb.stores_per_iteration = 1;
+    bb.branch_divergence = 0.0;
+    bb.lines_per_access = 1;
+    bb.pattern = trace::AddressPattern::kRandom;
+    bb.region_base_line = 1u << 21;    // centroid table shared by all blocks
+    bb.working_set_lines = 1u << 11;   // 256 KB: L2-resident
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    workload.launches.push_back(
+        make_launch(kernel, scale.seed ^ (0x6bea0 + l),
+                    std::vector<trace::BlockBehavior>(behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

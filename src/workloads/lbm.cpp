@@ -1,0 +1,62 @@
+// lbm — parboil lattice-Boltzmann method (Table VI: regular, 108 000
+// blocks).
+//
+// A time-stepped D3Q19 stencil: every block updates the same number of
+// lattice sites with fully coalesced streaming loads/stores, so block sizes
+// are perfectly uniform (Fig. 8a) and every time step (launch) is
+// statistically identical up to a small jitter from boundary handling.
+// lbm is the memory-bandwidth-bound end of the suite.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_lbm(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 10;
+  constexpr std::uint32_t kBlocksPerLaunch = 108000 / kLaunches;
+
+  Workload workload;
+  workload.name = "lbm";
+  workload.suite = "parboil";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("lbm_step");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 32;
+  kernel.shared_mem_per_block = 0;
+
+  stats::Rng rng = workload_rng(scale, workload.name);
+  // Every time step updates the same lattice: one behaviour table shared by
+  // all launches.  Boundary-handling blocks (~1%, fixed positions) do one
+  // extra iteration.
+  const std::uint32_t n_blocks = scaled_blocks(kBlocksPerLaunch, scale);
+  std::vector<trace::BlockBehavior> behaviors(n_blocks);
+  {
+    for (auto& bb : behaviors) {
+      bb.loop_iterations = 8 + (rng.uniform() < 0.01 ? 1 : 0);
+      bb.alu_per_iteration = 4;
+      bb.mem_per_iteration = 4;  // 19 distribution reads per site, batched
+      bb.stores_per_iteration = 2;
+      bb.branch_divergence = 0.0;
+      bb.lines_per_access = 1;  // perfectly coalesced
+      bb.pattern = trace::AddressPattern::kStreaming;
+      bb.working_set_lines = 1u << 12;
+    }
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    // Each launch processes a different chunk of memory: identical counts
+    // (so Eq. 2 features coincide exactly and the launches cluster), but
+    // shifted addresses give channel/bank alignments — and therefore IPCs —
+    // that differ slightly from launch to launch.
+    std::vector<trace::BlockBehavior> launch_behaviors(behaviors);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      launch_behaviors[b].region_base_line =
+          (std::uint64_t{l} + 1) * (1ull << 26) + std::uint64_t{b} * 1024;
+    }
+    workload.launches.push_back(make_launch(
+        kernel, scale.seed ^ (0x1b300 + l), std::move(launch_behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

@@ -1,0 +1,78 @@
+// mri — parboil MRI-Gridding (Table VI: irregular, 18 158 blocks).
+//
+// Gridding bins non-uniform k-space samples onto a Cartesian grid; the
+// sample density varies smoothly across the grid, so consecutive block-id
+// ranges see gradually different memory intensity.  The model gives each
+// launch a density profile over the block ids — three broad plateaus with
+// smooth noise — producing several long homogeneous regions separated by
+// transitions, the intra-launch structure TBPoint exploits.  Successive
+// launches process different sample chunks: same shape, shifted plateaus.
+#include <cmath>
+
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_mri(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 8;
+  constexpr std::uint32_t kBlocksPerLaunch = 18158 / kLaunches;
+
+  Workload workload;
+  workload.name = "mri";
+  workload.suite = "parboil";
+  workload.type = KernelType::kIrregular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("mri_gridding");
+  kernel.threads_per_block = 512;
+  kernel.registers_per_thread = 30;
+  kernel.shared_mem_per_block = 8192;
+
+  stats::Rng rng = workload_rng(scale, workload.name);
+
+  // mri keeps its full 18 158 blocks: the plateau layout over block ids is
+  // what creates its multiple homogeneous regions.
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    const std::uint32_t n_blocks = kBlocksPerLaunch;
+    stats::Rng launch_rng = rng.substream(l);
+
+    std::vector<trace::BlockBehavior> behaviors(n_blocks);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      trace::BlockBehavior& bb = behaviors[b];
+      // Density plateau: low / high / medium thirds, shifted per launch.
+      // Crucially, the plateaus differ in *memory divergence* (lines
+      // touched per access), not in instruction mix: sample density changes
+      // how badly the scatter coalesces, while the executed basic blocks
+      // stay identical.  Normalized BBVs therefore cannot see the phase
+      // change — the paper's core argument for the Eq. 2/Eq. 5 features
+      // over BBVs — but the per-block memory-request counts can.
+      const double pos =
+          std::fmod(static_cast<double>(b) / n_blocks + 0.1 * l, 1.0);
+      // Alternate launches process denser sample chunks, so launch totals
+      // differ and inter-launch clustering sees two genuine phases.
+      const std::uint32_t dense_boost = l % 2;
+      std::uint8_t lines;
+      if (pos < 0.34) {
+        lines = 1;
+      } else if (pos < 0.67) {
+        lines = static_cast<std::uint8_t>(4 + 2 * dense_boost);
+      } else {
+        lines = 2;
+      }
+      bb.loop_iterations = 7 + static_cast<std::uint32_t>(launch_rng.below(2));
+      bb.alu_per_iteration = 5;
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.branch_divergence = 0.1;
+      bb.lines_per_access = lines;
+      bb.pattern = trace::AddressPattern::kRandom;
+      bb.region_base_line = 1u << 23;
+      bb.working_set_lines = 1u << 14;
+    }
+    workload.launches.push_back(
+        make_launch(kernel, scale.seed ^ (0x39100 + l), std::move(behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

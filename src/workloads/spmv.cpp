@@ -1,0 +1,59 @@
+// spmv — parboil sparse matrix-vector multiply (Table VI: irregular,
+// 50 launches, 38 250 blocks).
+//
+// An iterative solver multiplies by the *same* matrix every iteration, so
+// all 50 launches are literally identical: identical seeds and identical
+// per-block behaviour tables make every launch's trace byte-for-byte equal.
+// Inter-launch clustering collapses them into one cluster (49 of 50
+// launches skipped).  Within a launch the CSR row lengths give blocks a
+// skewed, irregular size distribution (Fig. 8b), so the representative
+// launch still exercises intra-launch machinery.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_spmv(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 50;
+  constexpr std::uint32_t kBlocksPerLaunch = 38250 / kLaunches;
+
+  Workload workload;
+  workload.name = "spmv";
+  workload.suite = "parboil";
+  workload.type = KernelType::kIrregular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("spmv_csr");
+  kernel.threads_per_block = 512;
+  kernel.registers_per_thread = 22;
+  kernel.shared_mem_per_block = 4096;
+
+  // One behaviour table, one seed: the matrix does not change between
+  // solver iterations.
+  stats::Rng rng = workload_rng(scale, workload.name);
+  const std::uint32_t n_blocks = scaled_blocks(kBlocksPerLaunch, scale);
+  std::vector<trace::BlockBehavior> matrix_rows(n_blocks);
+  for (auto& bb : matrix_rows) {
+    // A block covers ~512 CSR rows, so its total nonzero count concentrates
+    // near the matrix average; blocks covering the dense band are heavier.
+    std::uint32_t extra = 0;
+    while (extra < 6 && rng.bernoulli(0.4)) ++extra;
+    const bool dense_band = rng.uniform() < 0.01;
+    bb.loop_iterations = 5 + extra + (dense_band ? 40 : 0);
+    bb.alu_per_iteration = 4;
+    bb.mem_per_iteration = 2;
+    bb.stores_per_iteration = 1;
+    bb.branch_divergence = 0.1;
+    bb.lines_per_access = 2;  // CSR gather of x[] entries
+    bb.pattern = trace::AddressPattern::kRandom;
+    bb.region_base_line = 1u << 22;
+    bb.working_set_lines = 1u << 13;  // 1 MB vector: mostly L2-resident
+  }
+
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    workload.launches.push_back(make_launch(
+        kernel, scale.seed ^ 0x59311, std::vector<trace::BlockBehavior>(matrix_rows)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

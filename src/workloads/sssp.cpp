@@ -1,0 +1,75 @@
+// sssp — lonestar single-source shortest paths (Table VI: irregular,
+// 49 launches, 12 691 blocks).
+//
+// Worklist-based SSSP relaxes edges in waves; launch sizes follow a wide
+// frontier curve over 49 launches.  Relative to bfs, each wave re-touches
+// part of the previous wave's working set (better L2 reuse) and per-block
+// work is more uniform, but tail blocks with long relaxation chains remain.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_sssp(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 49;
+  constexpr std::uint32_t kTotalBlocks = 12691;
+
+  Workload workload;
+  workload.name = "sssp";
+  workload.suite = "lonestar";
+  workload.type = KernelType::kIrregular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("sssp_kernel");
+  kernel.threads_per_block = 512;
+  kernel.registers_per_thread = 28;
+  kernel.shared_mem_per_block = 8192;
+
+  stats::Rng rng = workload_rng(scale, workload.name);
+  // Worklist-based SSSP keeps the wavefront size roughly steady after the
+  // initial ramp, so launch sizes are near-uniform (within ~2%) — unlike
+  // bfs's frontier bell.  Launches within an intensity phase therefore
+  // cluster together.  Never scaled down: the epoch structure is the point.
+  std::vector<std::uint32_t> sizes(kLaunches);
+  {
+    stats::Rng size_rng = rng.substream(0x517e);
+    for (std::uint32_t l = 0; l < kLaunches; ++l) {
+      const double ramp = l == 0 ? 0.35 : (l == 1 ? 0.7 : 1.0);
+      sizes[l] = static_cast<std::uint32_t>(
+          ramp * (kTotalBlocks / kLaunches) *
+          size_rng.uniform(0.98, 1.02));
+    }
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    const std::uint32_t n_blocks = sizes[l];
+    stats::Rng launch_rng = rng.substream(l);
+
+    // Relaxation intensity has three coarse phases (heavy early
+    // re-relaxation, a steady middle, a light tail), so waves within a
+    // phase are near-homogeneous and inter-launch clustering can group
+    // them.  Blocks own ~512 vertices, so per-block work concentrates near
+    // the wave mean; rare chain-heavy blocks are outliers.
+    const std::uint32_t wave_iters = l < 12 ? 8 : (l < 34 ? 6 : 5);
+
+    std::vector<trace::BlockBehavior> behaviors(n_blocks);
+    for (std::uint32_t b = 0; b < n_blocks; ++b) {
+      trace::BlockBehavior& bb = behaviors[b];
+      const double tail = launch_rng.uniform();
+      bb.loop_iterations =
+          wave_iters + static_cast<std::uint32_t>(launch_rng.below(2)) +
+          (tail > 0.997 ? wave_iters * 6 : 0);
+      bb.alu_per_iteration = 5;
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.branch_divergence = 0.2;
+      bb.lines_per_access = 2;
+      bb.pattern = trace::AddressPattern::kRandom;
+      bb.region_base_line = 1u << 22;
+      bb.working_set_lines = 1u << 14;  // 2 MB graph: partial L2 reuse
+    }
+    workload.launches.push_back(
+        make_launch(kernel, scale.seed ^ (0x55500 + l), std::move(behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

@@ -1,0 +1,52 @@
+// stream — rodinia streamcluster (Table VI: regular Type II, 2 688 blocks
+// over hundreds of launches).
+//
+// streamcluster's pgain kernel is relaunched for every candidate median —
+// the paper notes "hundreds of homogeneous kernel launches cause the most
+// savings to come from inter-launch sampling" (Fig. 11).  The model uses
+// 240 launches of ~11 uniform blocks: each launch is far smaller than the
+// system occupancy, so intra-launch sampling has no room to work and the
+// benchmark isolates the inter-launch path.  Never scaled down.
+#include "workloads/builders.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads::detail {
+
+Workload make_stream(const WorkloadScale& scale) {
+  constexpr std::uint32_t kLaunches = 240;
+  constexpr std::uint32_t kBlocksPerLaunch = 2688 / kLaunches;  // 11
+
+  Workload workload;
+  workload.name = "stream";
+  workload.suite = "rodinia";
+  workload.type = KernelType::kRegular;
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("stream_pgain");
+  kernel.threads_per_block = 256;
+  kernel.registers_per_thread = 20;
+  kernel.shared_mem_per_block = 4096;
+
+  // pgain evaluates another candidate median over the same point set each
+  // launch: one behaviour table shared by the hundreds of launches.
+  std::vector<trace::BlockBehavior> behaviors(kBlocksPerLaunch);
+  {
+    for (auto& bb : behaviors) {
+      bb.loop_iterations = 12;
+      bb.alu_per_iteration = 5;
+      bb.mem_per_iteration = 2;
+      bb.stores_per_iteration = 1;
+      bb.branch_divergence = 0.0;
+      bb.lines_per_access = 2;
+      bb.pattern = trace::AddressPattern::kRandom;
+      bb.region_base_line = 1u << 21;
+      bb.working_set_lines = 1u << 13;  // 1 MB point set
+    }
+  }
+  for (std::uint32_t l = 0; l < kLaunches; ++l) {
+    workload.launches.push_back(make_launch(
+        kernel, scale.seed ^ (0x57e0 + l), std::vector<trace::BlockBehavior>(behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads::detail

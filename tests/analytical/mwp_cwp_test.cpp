@@ -1,0 +1,118 @@
+#include "analytical/mwp_cwp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "trace/generator.hpp"
+
+namespace tbp::analytical {
+namespace {
+
+trace::BlockBehavior behavior(std::uint32_t alu, std::uint32_t mem,
+                              std::uint8_t lines) {
+  trace::BlockBehavior b;
+  b.loop_iterations = 8;
+  b.alu_per_iteration = alu;
+  b.mem_per_iteration = mem;
+  b.stores_per_iteration = 0;
+  b.lines_per_access = lines;
+  b.pattern = trace::AddressPattern::kStreaming;
+  return b;
+}
+
+struct Scenario {
+  trace::SyntheticLaunch launch;
+  profile::LaunchProfile profile;
+  LaunchCharacteristics ch;
+};
+
+Scenario make_scenario(std::uint32_t n_blocks, std::uint32_t alu, std::uint32_t mem,
+                 std::uint8_t lines) {
+  trace::SyntheticLaunch launch(trace::make_synthetic_kernel_info("an"), n_blocks,
+                                3, [=](std::uint32_t) {
+                                  return behavior(alu, mem, lines);
+                                });
+  profile::LaunchProfile p = profile::profile_launch(launch);
+  LaunchCharacteristics ch = characterize(p, launch.kernel());
+  return Scenario{std::move(launch), std::move(p), ch};
+}
+
+TEST(MwpCwpTest, CharacterizeExtractsAverages) {
+  const Scenario s = make_scenario(10, 4, 2, 2);
+  EXPECT_EQ(s.ch.n_blocks, 10u);
+  EXPECT_EQ(s.ch.warps_per_block, 8u);
+  // Per warp: 2 + 8*(4+2) + 2 = 52 insts; 8*2*2 = 32 requests.
+  EXPECT_DOUBLE_EQ(s.ch.insts_per_warp, 52.0);
+  EXPECT_DOUBLE_EQ(s.ch.mem_requests_per_warp, 32.0);
+  EXPECT_LE(s.ch.mem_insts_per_warp, s.ch.mem_requests_per_warp);
+}
+
+TEST(MwpCwpTest, EmptyLaunchPredictsZero) {
+  const LaunchCharacteristics ch;
+  const AnalyticalPrediction p = predict(ch, sim::fermi_config());
+  EXPECT_DOUBLE_EQ(p.machine_ipc, 0.0);
+}
+
+TEST(MwpCwpTest, ComputeBoundKernelIsIssueLimited) {
+  const Scenario s = make_scenario(200, 12, 0, 1);
+  const AnalyticalPrediction p = predict(s.ch, sim::fermi_config());
+  EXPECT_EQ(p.regime, AnalyticalPrediction::Regime::kLatencyHidden);
+  // Issue-limited: per-SM IPC approaches 1.
+  EXPECT_GT(p.ipc_per_sm, 0.9);
+}
+
+TEST(MwpCwpTest, MemoryHeavyKernelIsNotIssueLimited) {
+  const Scenario s = make_scenario(200, 1, 4, 8);
+  const AnalyticalPrediction p = predict(s.ch, sim::fermi_config());
+  EXPECT_NE(p.regime, AnalyticalPrediction::Regime::kLatencyHidden);
+  EXPECT_LT(p.ipc_per_sm, 0.7);
+}
+
+TEST(MwpCwpTest, IpcWithinMachineBounds) {
+  for (std::uint32_t mem : {0u, 1u, 3u}) {
+    const Scenario s = make_scenario(100, 5, mem, 4);
+    const AnalyticalPrediction p = predict(s.ch, sim::fermi_config());
+    EXPECT_GT(p.machine_ipc, 0.0);
+    EXPECT_LE(p.ipc_per_sm, 1.0 + 1e-9);
+  }
+}
+
+TEST(MwpCwpTest, MoreCoalescingHelps) {
+  const Scenario bad = make_scenario(150, 4, 2, 16);
+  const Scenario good = make_scenario(150, 4, 2, 1);
+  const double ipc_bad = predict(bad.ch, sim::fermi_config()).machine_ipc;
+  const double ipc_good = predict(good.ch, sim::fermi_config()).machine_ipc;
+  EXPECT_GT(ipc_good, ipc_bad);
+}
+
+TEST(MwpCwpTest, PredictionIsTheRightOrderOfMagnitude) {
+  // The analytical model trades accuracy for speed; it must still land
+  // within ~2x of the simulator (the paper's design-space-exploration use).
+  const Scenario s = make_scenario(300, 5, 2, 2);
+  const sim::GpuConfig config = sim::fermi_config();
+  const AnalyticalPrediction p = predict(s.ch, config);
+
+  sim::GpuSimulator simulator(config);
+  const sim::LaunchResult full = simulator.run_launch(s.launch);
+  const double ratio = p.machine_ipc / full.machine_ipc();
+  EXPECT_GT(ratio, 0.4) << "analytical " << p.machine_ipc << " vs sim "
+                        << full.machine_ipc();
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(MwpCwpTest, ApplicationCompositionWeighsByInstructions) {
+  const Scenario a = make_scenario(100, 12, 0, 1);
+  const Scenario b = make_scenario(100, 1, 4, 8);
+  profile::ApplicationProfile app;
+  app.launches = {a.profile, b.profile};
+  const double combined =
+      predict_application_ipc(app, a.launch.kernel(), sim::fermi_config());
+  const double ipc_a = predict(a.ch, sim::fermi_config()).machine_ipc;
+  const double ipc_b = predict(b.ch, sim::fermi_config()).machine_ipc;
+  EXPECT_GT(combined, std::min(ipc_a, ipc_b));
+  EXPECT_LT(combined, std::max(ipc_a, ipc_b));
+}
+
+}  // namespace
+}  // namespace tbp::analytical

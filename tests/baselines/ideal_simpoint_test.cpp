@@ -1,0 +1,125 @@
+#include "baselines/ideal_simpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbp::baselines {
+namespace {
+
+/// A unit with a given BBV and IPC (insts fixed at 1000).
+sim::FixedUnit unit(std::vector<std::uint32_t> bbv, double ipc) {
+  sim::FixedUnit u;
+  u.start_cycle = 0;
+  u.end_cycle = static_cast<std::uint64_t>(1000.0 / ipc);
+  u.warp_insts = 1000;
+  u.thread_insts = 32000;
+  u.bbv = std::move(bbv);
+  return u;
+}
+
+TEST(IdealSimpointTest, NormalizedBbv) {
+  sim::FixedUnit u;
+  u.bbv = {10, 30, 0, 60};
+  const cluster::FeatureVector f = normalized_bbv(u);
+  EXPECT_DOUBLE_EQ(f[0], 0.1);
+  EXPECT_DOUBLE_EQ(f[1], 0.3);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.6);
+}
+
+TEST(IdealSimpointTest, NormalizedBbvOfEmptyUnitIsZeros) {
+  sim::FixedUnit u;
+  u.bbv = {0, 0};
+  const cluster::FeatureVector f = normalized_bbv(u);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+}
+
+TEST(IdealSimpointTest, TwoPhaseProgramFindsTwoSimpoints) {
+  std::vector<sim::FixedUnit> units;
+  // Phase A: bb0-heavy, ipc 2.  Phase B: bb1-heavy, ipc 5.
+  for (int i = 0; i < 20; ++i) units.push_back(unit({900, 50, 50}, 2.0));
+  for (int i = 0; i < 10; ++i) units.push_back(unit({50, 900, 50}, 5.0));
+  const SimpointResult result = ideal_simpoint(units);
+  EXPECT_EQ(result.selected_k, 2u);
+  ASSERT_EQ(result.simulation_points.size(), 2u);
+  // Predicted cycles: 20 kinsts at ipc 2 + 10 kinsts at ipc 5.
+  const double expected_ipc = 30000.0 / (20000.0 / 2.0 + 10000.0 / 5.0);
+  EXPECT_NEAR(result.predicted_ipc, expected_ipc, 0.05 * expected_ipc);
+  // Sample: 2 of 30 units.
+  EXPECT_NEAR(result.sample_fraction, 2.0 / 30.0, 1e-9);
+}
+
+TEST(IdealSimpointTest, WeightsMatchClusterSizes) {
+  std::vector<sim::FixedUnit> units;
+  for (int i = 0; i < 30; ++i) units.push_back(unit({1000, 0}, 2.0));
+  for (int i = 0; i < 10; ++i) units.push_back(unit({0, 1000}, 4.0));
+  const SimpointResult result = ideal_simpoint(units);
+  ASSERT_EQ(result.weights.size(), result.simulation_points.size());
+  double weight_sum = 0.0;
+  for (double w : result.weights) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-12);
+}
+
+TEST(IdealSimpointTest, HomogeneousUnitsCollapseToOnePoint) {
+  std::vector<sim::FixedUnit> units(25, unit({500, 500}, 3.0));
+  const SimpointResult result = ideal_simpoint(units);
+  EXPECT_EQ(result.selected_k, 1u);
+  EXPECT_NEAR(result.predicted_ipc, 3.0, 1e-2);  // integer cycle rounding
+}
+
+TEST(IdealSimpointTest, BbvBlindSpotMissesTlpOutliers) {
+  // The paper's mst failure mode: outlier units execute *more of the same
+  // basic blocks* at a different IPC.  Normalized BBVs are identical, so
+  // SimPoint cannot separate them and inherits a biased prediction.
+  std::vector<sim::FixedUnit> units;
+  for (int i = 0; i < 20; ++i) units.push_back(unit({800, 200}, 4.0));
+  for (int i = 0; i < 5; ++i) {
+    sim::FixedUnit outlier = unit({800, 200}, 1.0);  // same mix, 4x slower
+    units.push_back(outlier);
+  }
+  const SimpointResult result = ideal_simpoint(units);
+  EXPECT_EQ(result.selected_k, 1u);  // BBVs cannot tell them apart
+  const double true_ipc = 25000.0 / (20000.0 / 4.0 + 5000.0 / 1.0);
+  // The single simulation point misrepresents the mixture: error is large.
+  EXPECT_GT(std::abs(result.predicted_ipc - true_ipc) / true_ipc, 0.2);
+}
+
+TEST(IdealSimpointTest, DeterministicForSeed) {
+  std::vector<sim::FixedUnit> units;
+  for (int i = 0; i < 30; ++i) {
+    units.push_back(unit({static_cast<std::uint32_t>(100 + i * 10),
+                          static_cast<std::uint32_t>(900 - i * 10)},
+                         2.0 + 0.05 * i));
+  }
+  const SimpointResult a = ideal_simpoint(units);
+  const SimpointResult b = ideal_simpoint(units);
+  EXPECT_EQ(a.selected_k, b.selected_k);
+  EXPECT_EQ(a.simulation_points, b.simulation_points);
+  EXPECT_DOUBLE_EQ(a.predicted_ipc, b.predicted_ipc);
+}
+
+TEST(IdealSimpointTest, EmptyUnits) {
+  const SimpointResult result = ideal_simpoint({});
+  EXPECT_EQ(result.selected_k, 0u);
+  EXPECT_DOUBLE_EQ(result.predicted_ipc, 0.0);
+}
+
+TEST(IdealSimpointTest, MaxKClampsSelection) {
+  std::vector<sim::FixedUnit> units;
+  for (int p = 0; p < 6; ++p) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<std::uint32_t> bbv(6, 0);
+      bbv[static_cast<std::size_t>(p)] = 1000;
+      units.push_back(unit(std::move(bbv), 1.0 + p));
+    }
+  }
+  SimpointOptions options;
+  options.max_k = 3;
+  const SimpointResult result = ideal_simpoint(units, options);
+  EXPECT_LE(result.selected_k, 3u);
+}
+
+}  // namespace
+}  // namespace tbp::baselines

@@ -1,0 +1,96 @@
+#include "baselines/random_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbp::baselines {
+namespace {
+
+sim::FixedUnit unit(std::uint64_t insts, std::uint64_t cycles,
+                    std::uint64_t start = 0) {
+  sim::FixedUnit u;
+  u.start_cycle = start;
+  u.end_cycle = start + cycles;
+  u.warp_insts = insts;
+  u.thread_insts = insts * 32;
+  return u;
+}
+
+TEST(RandomSamplingTest, EmptyUnits) {
+  const RandomSamplingResult result = random_sampling({});
+  EXPECT_EQ(result.n_units_total, 0u);
+  EXPECT_DOUBLE_EQ(result.predicted_ipc, 0.0);
+}
+
+TEST(RandomSamplingTest, UniformUnitsPredictExactly) {
+  std::vector<sim::FixedUnit> units(50, unit(1000, 500));  // ipc 2 everywhere
+  const RandomSamplingResult result = random_sampling(units);
+  EXPECT_DOUBLE_EQ(result.predicted_ipc, 2.0);
+  EXPECT_EQ(result.n_units_sampled, 5u);
+  EXPECT_NEAR(result.sample_fraction, 0.1, 1e-12);
+}
+
+TEST(RandomSamplingTest, SampleFractionHonored) {
+  std::vector<sim::FixedUnit> units(100, unit(1000, 500));
+  RandomSamplingOptions options;
+  options.sample_fraction = 0.25;
+  const RandomSamplingResult result = random_sampling(units, options);
+  EXPECT_EQ(result.n_units_sampled, 25u);
+}
+
+TEST(RandomSamplingTest, AtLeastOneUnitSampled) {
+  std::vector<sim::FixedUnit> units(3, unit(1000, 500));
+  RandomSamplingOptions options;
+  options.sample_fraction = 0.01;
+  const RandomSamplingResult result = random_sampling(units, options);
+  EXPECT_EQ(result.n_units_sampled, 1u);
+}
+
+TEST(RandomSamplingTest, DeterministicForSeed) {
+  std::vector<sim::FixedUnit> units;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    units.push_back(unit(1000, 300 + 20 * (i % 7)));
+  }
+  const RandomSamplingResult a = random_sampling(units);
+  const RandomSamplingResult b = random_sampling(units);
+  EXPECT_EQ(a.sampled_units, b.sampled_units);
+  EXPECT_DOUBLE_EQ(a.predicted_ipc, b.predicted_ipc);
+}
+
+TEST(RandomSamplingTest, DifferentSeedsPickDifferentUnits) {
+  std::vector<sim::FixedUnit> units(200, unit(1000, 500));
+  RandomSamplingOptions a;
+  RandomSamplingOptions b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(random_sampling(units, a).sampled_units,
+            random_sampling(units, b).sampled_units);
+}
+
+TEST(RandomSamplingTest, SampledIndicesAreValidAndUnique) {
+  std::vector<sim::FixedUnit> units(60, unit(1000, 500));
+  const RandomSamplingResult result = random_sampling(units);
+  std::vector<std::size_t> seen;
+  for (std::size_t u : result.sampled_units) {
+    EXPECT_LT(u, units.size());
+    seen.push_back(u);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(RandomSamplingTest, NaiveMeanOfIpcEstimator) {
+  // Units with ipc 1 and ipc 4: the naive estimator averages unit IPCs to
+  // 2.5, although the true aggregate is 2000/1250 = 1.6.  This bias — slow
+  // units deserve more cycle weight — is the paper's explanation for
+  // Random's poor accuracy on heterogeneous kernels, and the test pins it.
+  std::vector<sim::FixedUnit> units = {unit(1000, 1000), unit(1000, 250)};
+  RandomSamplingOptions options;
+  options.sample_fraction = 1.0;  // sample everything
+  const RandomSamplingResult result = random_sampling(units, options);
+  EXPECT_DOUBLE_EQ(result.predicted_ipc, 2.5);
+  EXPECT_GT(result.predicted_ipc, 2000.0 / 1250.0);
+}
+
+}  // namespace
+}  // namespace tbp::baselines

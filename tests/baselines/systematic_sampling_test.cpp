@@ -1,0 +1,90 @@
+#include "baselines/systematic_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbp::baselines {
+namespace {
+
+sim::FixedUnit unit(std::uint64_t insts, std::uint64_t cycles) {
+  sim::FixedUnit u;
+  u.start_cycle = 0;
+  u.end_cycle = cycles;
+  u.warp_insts = insts;
+  return u;
+}
+
+TEST(SystematicSamplingTest, EmptyUnits) {
+  const SystematicSamplingResult result = systematic_sampling({});
+  EXPECT_EQ(result.n_units_total, 0u);
+  EXPECT_DOUBLE_EQ(result.predicted_ipc, 0.0);
+}
+
+TEST(SystematicSamplingTest, StrideIsThePeriod) {
+  std::vector<sim::FixedUnit> units(50, unit(1000, 500));
+  const SystematicSamplingResult result = systematic_sampling(units);
+  ASSERT_GE(result.n_units_sampled, 4u);
+  for (std::size_t i = 1; i < result.sampled_units.size(); ++i) {
+    EXPECT_EQ(result.sampled_units[i] - result.sampled_units[i - 1], 10u);
+  }
+  EXPECT_LT(result.start_offset, 10u);
+}
+
+TEST(SystematicSamplingTest, UniformUnitsPredictExactly) {
+  std::vector<sim::FixedUnit> units(100, unit(1000, 500));
+  const SystematicSamplingResult result = systematic_sampling(units);
+  EXPECT_DOUBLE_EQ(result.predicted_ipc, 2.0);
+  EXPECT_NEAR(result.sample_fraction, 0.1, 0.01);
+}
+
+TEST(SystematicSamplingTest, SampleCostProportionalToLength) {
+  // The paper's critique: doubling the program doubles the simulated
+  // instructions, regular or not.
+  std::vector<sim::FixedUnit> small(50, unit(1000, 500));
+  std::vector<sim::FixedUnit> large(100, unit(1000, 500));
+  const auto a = systematic_sampling(small);
+  const auto b = systematic_sampling(large);
+  EXPECT_NEAR(static_cast<double>(b.n_units_sampled),
+              2.0 * static_cast<double>(a.n_units_sampled), 1.0);
+}
+
+TEST(SystematicSamplingTest, FewerUnitsThanPeriodStillSamples) {
+  std::vector<sim::FixedUnit> units(3, unit(1000, 400));
+  const SystematicSamplingResult result = systematic_sampling(units);
+  EXPECT_GE(result.n_units_sampled, 1u);
+  EXPECT_GT(result.predicted_ipc, 0.0);
+}
+
+TEST(SystematicSamplingTest, PeriodConfigurable) {
+  std::vector<sim::FixedUnit> units(100, unit(1000, 500));
+  SystematicSamplingOptions options;
+  options.period = 4;
+  const SystematicSamplingResult result = systematic_sampling(units, options);
+  EXPECT_EQ(result.n_units_sampled, (100 - result.start_offset + 3) / 4);
+}
+
+TEST(SystematicSamplingTest, DeterministicForSeed) {
+  std::vector<sim::FixedUnit> units(60, unit(1000, 500));
+  const auto a = systematic_sampling(units);
+  const auto b = systematic_sampling(units);
+  EXPECT_EQ(a.sampled_units, b.sampled_units);
+}
+
+TEST(SystematicSamplingTest, ResonanceWithProgramPeriodBiases) {
+  // Alternating fast/slow units with period 2; a sampler whose period is a
+  // multiple of the program period sees only one phase.
+  std::vector<sim::FixedUnit> units;
+  for (int i = 0; i < 100; ++i) {
+    units.push_back(i % 2 == 0 ? unit(1000, 250) : unit(1000, 1000));
+  }
+  SystematicSamplingOptions options;
+  options.period = 2;  // resonates
+  const SystematicSamplingResult result = systematic_sampling(units, options);
+  const double true_ipc = 100000.0 / (50 * 250.0 + 50 * 1000.0);
+  // Sees only ipc-4 or only ipc-1 units depending on the offset.
+  EXPECT_GT(std::abs(result.predicted_ipc - true_ipc) / true_ipc, 0.3);
+}
+
+}  // namespace
+}  // namespace tbp::baselines

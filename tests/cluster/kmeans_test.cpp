@@ -1,0 +1,119 @@
+#include "cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tbp::cluster {
+namespace {
+
+/// `n_clusters` tight blobs far apart.
+std::vector<FeatureVector> make_blobs(std::uint64_t seed, std::size_t n_clusters,
+                                      std::size_t per_cluster, std::size_t dims) {
+  stats::Rng rng(seed);
+  std::vector<FeatureVector> points;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    FeatureVector center(dims);
+    for (double& x : center) x = static_cast<double>(c) * 100.0 + rng.uniform();
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      FeatureVector p = center;
+      for (double& x : p) x += rng.gaussian(0.0, 0.5);
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  const std::vector<FeatureVector> points = {{0.0}, {2.0}, {4.0}};
+  stats::Rng rng(1);
+  const KMeansResult result = kmeans(points, 1, rng);
+  ASSERT_EQ(result.k, 1u);
+  EXPECT_DOUBLE_EQ(result.centroids[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(result.inertia, 8.0);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const std::vector<FeatureVector> points = make_blobs(7, 3, 20, 2);
+  stats::Rng rng(2);
+  const KMeansResult result = kmeans(points, 3, rng);
+  ASSERT_EQ(result.k, 3u);
+  // All points of a blob share a label; blobs get distinct labels.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const int label = result.labels[c * 20];
+    for (std::size_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(result.labels[c * 20 + i], label);
+    }
+  }
+  const std::set<int> distinct(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  const std::vector<FeatureVector> points = {{0.0}, {1.0}};
+  stats::Rng rng(3);
+  const KMeansResult result = kmeans(points, 10, rng);
+  EXPECT_LE(result.k, 2u);
+}
+
+TEST(KMeansTest, LabelsAreDense) {
+  const std::vector<FeatureVector> points = make_blobs(11, 4, 10, 3);
+  stats::Rng rng(4);
+  const KMeansResult result = kmeans(points, 4, rng);
+  int max_label = -1;
+  for (int l : result.labels) {
+    EXPECT_GE(l, 0);
+    max_label = std::max(max_label, l);
+  }
+  EXPECT_EQ(static_cast<std::size_t>(max_label) + 1, result.k);
+  EXPECT_EQ(result.centroids.size(), result.k);
+}
+
+TEST(KMeansTest, DeterministicForSameRngSeed) {
+  const std::vector<FeatureVector> points = make_blobs(5, 3, 15, 2);
+  stats::Rng rng_a(42);
+  stats::Rng rng_b(42);
+  const KMeansResult a = kmeans(points, 3, rng_a);
+  const KMeansResult b = kmeans(points, 3, rng_b);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseInertia) {
+  const std::vector<FeatureVector> points = make_blobs(13, 4, 12, 2);
+  stats::Rng rng(6);
+  double prev = -1.0;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    stats::Rng krng = rng.substream(k);
+    const KMeansResult result = kmeans(points, k, krng, {.restarts = 8});
+    if (prev >= 0.0) {
+      EXPECT_LE(result.inertia, prev * 1.0001);
+    }
+    prev = result.inertia;
+  }
+}
+
+class BicSelectsTrueK : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BicSelectsTrueK, OnWellSeparatedBlobs) {
+  const std::size_t true_k = GetParam();
+  const std::vector<FeatureVector> points = make_blobs(true_k * 31, true_k, 25, 2);
+  stats::Rng rng(7);
+  const BicSelection selection = kmeans_bic(points, 10, rng);
+  EXPECT_EQ(selection.selected_k, true_k);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueK, BicSelectsTrueK, ::testing::Values(2, 3, 4, 5));
+
+TEST(KMeansTest, BicOnIdenticalPointsPicksOneCluster) {
+  const std::vector<FeatureVector> points(20, FeatureVector{1.0, 1.0});
+  stats::Rng rng(8);
+  const BicSelection selection = kmeans_bic(points, 5, rng);
+  EXPECT_EQ(selection.selected_k, 1u);
+}
+
+}  // namespace
+}  // namespace tbp::cluster

@@ -1,0 +1,92 @@
+#include "core/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbp::core {
+namespace {
+
+profile::BlockStats block(std::uint64_t warp_insts, std::uint64_t mem_requests) {
+  return profile::BlockStats{.thread_insts = warp_insts * 32,
+                             .warp_insts = warp_insts,
+                             .mem_requests = mem_requests};
+}
+
+TEST(EpochTest, PartitionCoversAllBlocksExactlyOnce) {
+  profile::LaunchProfile launch;
+  for (int i = 0; i < 23; ++i) launch.blocks.push_back(block(100, 10));
+  const std::vector<Epoch> epochs = build_epochs(launch, 5);
+  ASSERT_EQ(epochs.size(), 5u);  // 4 full + 1 partial
+  std::uint32_t covered = 0;
+  std::uint32_t expected_first = 0;
+  for (const Epoch& e : epochs) {
+    EXPECT_EQ(e.first_block, expected_first);
+    covered += e.n_blocks;
+    expected_first = e.end_block();
+  }
+  EXPECT_EQ(covered, 23u);
+  EXPECT_EQ(epochs.back().n_blocks, 3u);
+}
+
+TEST(EpochTest, EpochSizeEqualsSystemOccupancy) {
+  profile::LaunchProfile launch;
+  for (int i = 0; i < 100; ++i) launch.blocks.push_back(block(100, 10));
+  for (std::uint32_t occ : {1u, 7u, 84u}) {
+    const std::vector<Epoch> epochs = build_epochs(launch, occ);
+    for (std::size_t e = 0; e + 1 < epochs.size(); ++e) {
+      EXPECT_EQ(epochs[e].n_blocks, occ);
+    }
+  }
+}
+
+TEST(EpochTest, StallProbabilityIsMeanOfBlockRatios) {
+  profile::LaunchProfile launch;
+  launch.blocks = {block(100, 10), block(100, 30)};  // p = 0.1, 0.3
+  const std::vector<Epoch> epochs = build_epochs(launch, 2);
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(epochs[0].avg_stall_probability, 0.2);
+}
+
+TEST(EpochTest, UniformEpochHasZeroVarianceFactor) {
+  profile::LaunchProfile launch;
+  for (int i = 0; i < 8; ++i) launch.blocks.push_back(block(100, 10));
+  const std::vector<Epoch> epochs = build_epochs(launch, 4);
+  for (const Epoch& e : epochs) EXPECT_DOUBLE_EQ(e.variance_factor, 0.0);
+}
+
+TEST(EpochTest, OutlierBlockRaisesVarianceFactor) {
+  profile::LaunchProfile launch;
+  launch.blocks = {block(100, 10), block(100, 10), block(100, 10),
+                   block(1600, 160)};  // 16x outlier, same p
+  const std::vector<Epoch> epochs = build_epochs(launch, 4);
+  ASSERT_EQ(epochs.size(), 1u);
+  // p identical across blocks...
+  EXPECT_DOUBLE_EQ(epochs[0].avg_stall_probability, 0.1);
+  // ...but the variance factor exposes the outlier (paper's mst case).
+  EXPECT_GT(epochs[0].variance_factor, 0.3);
+}
+
+TEST(EpochTest, VarianceFactorIsMaxOfXandYCov) {
+  profile::LaunchProfile launch;
+  // warp insts uniform (CoV 0), mem requests vary (CoV > 0).
+  launch.blocks = {block(100, 5), block(100, 45)};
+  const std::vector<Epoch> epochs = build_epochs(launch, 2);
+  ASSERT_EQ(epochs.size(), 1u);
+  // CoV of {5,45}: mean 25, stddev 20 -> 0.8.
+  EXPECT_NEAR(epochs[0].variance_factor, 0.8, 1e-12);
+}
+
+TEST(EpochTest, EmptyLaunchYieldsNoEpochs) {
+  profile::LaunchProfile launch;
+  EXPECT_TRUE(build_epochs(launch, 4).empty());
+}
+
+TEST(EpochTest, OccupancyLargerThanLaunch) {
+  profile::LaunchProfile launch;
+  launch.blocks = {block(100, 10), block(100, 10)};
+  const std::vector<Epoch> epochs = build_epochs(launch, 50);
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_EQ(epochs[0].n_blocks, 2u);
+}
+
+}  // namespace
+}  // namespace tbp::core

@@ -1,0 +1,132 @@
+// Property sweep of the full TBPoint pipeline on randomized multi-launch
+// applications: accounting identities, monotonicity of the sampling knobs,
+// and accuracy bounds that must hold for any draw.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/tbpoint.hpp"
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "stats/rng.hpp"
+#include "trace/generator.hpp"
+
+namespace tbp::core {
+namespace {
+
+struct RandomApp {
+  std::vector<std::unique_ptr<trace::SyntheticLaunch>> launches;
+  profile::ApplicationProfile profile;
+  sim::GpuConfig config;
+
+  [[nodiscard]] std::vector<const trace::LaunchTraceSource*> sources() const {
+    std::vector<const trace::LaunchTraceSource*> out;
+    for (const auto& l : launches) out.push_back(l.get());
+    return out;
+  }
+};
+
+RandomApp draw(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  RandomApp app;
+  app.config = sim::fermi_config();
+  app.config.n_sms = static_cast<std::uint32_t>(2 + rng.below(4));
+
+  const std::size_t n_phases = 1 + rng.below(3);
+  std::vector<trace::BlockBehavior> phase_behaviors(n_phases);
+  for (auto& b : phase_behaviors) {
+    b.loop_iterations = 3 + static_cast<std::uint32_t>(rng.below(8));
+    b.alu_per_iteration = 2 + static_cast<std::uint32_t>(rng.below(5));
+    b.mem_per_iteration = static_cast<std::uint32_t>(rng.below(3));
+    b.stores_per_iteration = 1;
+    b.lines_per_access = static_cast<std::uint8_t>(1 + rng.below(4));
+    b.pattern = static_cast<trace::AddressPattern>(rng.below(3));
+    b.working_set_lines = 1u << (10 + rng.below(4));
+  }
+
+  const std::size_t n_launches = 2 + rng.below(6);
+  for (std::size_t l = 0; l < n_launches; ++l) {
+    const trace::BlockBehavior behavior = phase_behaviors[l % n_phases];
+    // Launches span several occupancy generations; far smaller launches
+    // are fill/drain-dominated, a regime where steady-state extrapolation
+    // is inherently biased (the paper's kernels are thousands of blocks).
+    const auto n_blocks = static_cast<std::uint32_t>(120 + rng.below(300));
+    app.launches.push_back(std::make_unique<trace::SyntheticLaunch>(
+        trace::make_synthetic_kernel_info("prop"), n_blocks,
+        seed ^ (l % n_phases),  // same-phase launches share traces
+        [behavior](std::uint32_t) { return behavior; }));
+    app.profile.launches.push_back(
+        profile::profile_launch(*app.launches.back()));
+  }
+  return app;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, AccountingIdentity) {
+  const RandomApp app = draw(GetParam());
+  const TBPointRun run = run_tbpoint(app.sources(), app.profile, app.config, {});
+  EXPECT_EQ(run.app.simulated_warp_insts + run.app.skipped_inter_warp_insts +
+                run.app.skipped_intra_warp_insts,
+            run.app.total_warp_insts);
+  EXPECT_GT(run.app.sample_fraction(), 0.0);
+  EXPECT_LE(run.app.sample_fraction(), 1.0 + 1e-12);
+}
+
+TEST_P(PipelineProperty, EveryClusterHasOneRepresentativeRun) {
+  const RandomApp app = draw(GetParam());
+  const TBPointRun run = run_tbpoint(app.sources(), app.profile, app.config, {});
+  EXPECT_EQ(run.reps.size(), run.inter.clusters.size());
+  for (std::size_t c = 0; c < run.reps.size(); ++c) {
+    EXPECT_EQ(run.reps[c].launch_index, run.inter.representatives[c]);
+    EXPECT_LE(run.reps[c].prediction.sample_fraction(), 1.0 + 1e-12);
+  }
+}
+
+TEST_P(PipelineProperty, PredictionTracksFullSimulation) {
+  const RandomApp app = draw(GetParam());
+  const TBPointRun run = run_tbpoint(app.sources(), app.profile, app.config, {});
+
+  sim::GpuSimulator simulator(app.config);
+  std::uint64_t cycles = 0;
+  std::uint64_t insts = 0;
+  for (const auto* source : app.sources()) {
+    const sim::LaunchResult full = simulator.run_launch(*source);
+    cycles += full.cycles;
+    insts += full.sim_warp_insts;
+  }
+  const double full_ipc = static_cast<double>(insts) / static_cast<double>(cycles);
+  // Generous bound: any draw must stay within 20% (typical draws are <2%;
+  // the paper's own hardware sweep sees errors up to 14%).
+  EXPECT_NEAR(run.app.predicted_ipc, full_ipc, 0.20 * full_ipc);
+}
+
+TEST_P(PipelineProperty, IntraSamplingNeverSimulatesMoreThanFull) {
+  const RandomApp app = draw(GetParam());
+  TBPointOptions with_intra;
+  TBPointOptions without_intra;
+  without_intra.enable_intra = false;
+  const TBPointRun a =
+      run_tbpoint(app.sources(), app.profile, app.config, with_intra);
+  const TBPointRun b =
+      run_tbpoint(app.sources(), app.profile, app.config, without_intra);
+  EXPECT_LE(a.app.simulated_warp_insts, b.app.simulated_warp_insts);
+}
+
+TEST_P(PipelineProperty, LooserInterThresholdNeverAddsClusters) {
+  const RandomApp app = draw(GetParam());
+  TBPointOptions tight;
+  tight.inter.distance_threshold = 0.01;
+  TBPointOptions loose;
+  loose.inter.distance_threshold = 0.5;
+  const TBPointRun a = run_tbpoint(app.sources(), app.profile, app.config, tight);
+  const TBPointRun b = run_tbpoint(app.sources(), app.profile, app.config, loose);
+  EXPECT_GE(a.inter.clusters.size(), b.inter.clusters.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomApps, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(100, 108));
+
+}  // namespace
+}  // namespace tbp::core

@@ -1,0 +1,147 @@
+#include "core/reconstruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbp::core {
+namespace {
+
+profile::LaunchProfile uniform_launch(std::size_t n_blocks,
+                                      std::uint64_t warp_insts_per_block) {
+  profile::LaunchProfile launch;
+  launch.blocks.assign(n_blocks,
+                       profile::BlockStats{.thread_insts = warp_insts_per_block * 32,
+                                           .warp_insts = warp_insts_per_block,
+                                           .mem_requests = 10});
+  return launch;
+}
+
+sim::LaunchResult sim_result(std::uint64_t cycles, std::uint64_t insts) {
+  sim::LaunchResult result;
+  result.cycles = cycles;
+  result.sim_warp_insts = insts;
+  return result;
+}
+
+TEST(PredictLaunchTest, NoSkipsReproducesSimulationExactly) {
+  const profile::LaunchProfile launch = uniform_launch(10, 100);
+  const sim::LaunchResult result = sim_result(500, 1000);
+  const LaunchPrediction p = predict_launch(launch, result, {});
+  EXPECT_DOUBLE_EQ(p.predicted_cycles, 500.0);
+  EXPECT_DOUBLE_EQ(p.predicted_ipc, 2.0);
+  EXPECT_DOUBLE_EQ(p.sample_fraction(), 1.0);
+}
+
+TEST(PredictLaunchTest, SkippedRegionAddsCyclesAtLockedIpc) {
+  const profile::LaunchProfile launch = uniform_launch(10, 100);
+  // 6 blocks simulated (600 insts, 300 cycles), 4 skipped at IPC 2.5.
+  const sim::LaunchResult result = sim_result(300, 600);
+  const std::vector<SkippedRegion> skipped = {SkippedRegion{
+      .region_id = 0,
+      .predicted_ipc = 2.5,
+      .skipped_warp_insts = 400,
+      .skipped_thread_insts = 12800,
+      .n_skipped_blocks = 4,
+  }};
+  const LaunchPrediction p = predict_launch(launch, result, skipped);
+  EXPECT_DOUBLE_EQ(p.predicted_cycles, 300.0 + 400.0 / 2.5);
+  EXPECT_DOUBLE_EQ(p.predicted_ipc, 1000.0 / 460.0);
+  EXPECT_DOUBLE_EQ(p.sample_fraction(), 0.6);
+}
+
+TEST(PredictLaunchTest, MultipleRegionsAccumulate) {
+  const profile::LaunchProfile launch = uniform_launch(10, 100);
+  const sim::LaunchResult result = sim_result(200, 400);
+  const std::vector<SkippedRegion> skipped = {
+      SkippedRegion{.region_id = 0, .predicted_ipc = 2.0, .skipped_warp_insts = 300},
+      SkippedRegion{.region_id = 1, .predicted_ipc = 5.0, .skipped_warp_insts = 300},
+  };
+  const LaunchPrediction p = predict_launch(launch, result, skipped);
+  EXPECT_DOUBLE_EQ(p.predicted_cycles, 200.0 + 150.0 + 60.0);
+}
+
+TEST(PredictLaunchTest, ZeroIpcRegionFallsBackToMachineIpc) {
+  const profile::LaunchProfile launch = uniform_launch(10, 100);
+  const sim::LaunchResult result = sim_result(300, 600);  // machine ipc 2.0
+  const std::vector<SkippedRegion> skipped = {
+      SkippedRegion{.region_id = 0, .predicted_ipc = 0.0, .skipped_warp_insts = 400}};
+  const LaunchPrediction p = predict_launch(launch, result, skipped);
+  EXPECT_DOUBLE_EQ(p.predicted_cycles, 300.0 + 200.0);
+}
+
+// ---- combine_predictions (Table IV, inter-launch composition) ----
+
+InterLaunchResult two_cluster_inter() {
+  InterLaunchResult inter;
+  inter.cluster_of_launch = {0, 0, 0, 1, 1};
+  inter.clusters = {{0, 1, 2}, {3, 4}};
+  inter.representatives = {1, 3};
+  return inter;
+}
+
+TEST(CombinePredictionsTest, WeightsLaunchesByInstructionCount) {
+  profile::ApplicationProfile app;
+  // Cluster 0: launches of 1000 insts each; cluster 1: 4000 insts each.
+  for (int i = 0; i < 3; ++i) app.launches.push_back(uniform_launch(10, 100));
+  for (int i = 0; i < 2; ++i) app.launches.push_back(uniform_launch(10, 400));
+  const InterLaunchResult inter = two_cluster_inter();
+
+  LaunchPrediction rep0;
+  rep0.total_warp_insts = 1000;
+  rep0.simulated_warp_insts = 1000;
+  rep0.predicted_cycles = 500;
+  rep0.predicted_ipc = 2.0;
+  LaunchPrediction rep1;
+  rep1.total_warp_insts = 4000;
+  rep1.simulated_warp_insts = 2000;
+  rep1.predicted_cycles = 1000;
+  rep1.predicted_ipc = 4.0;
+
+  const ApplicationPrediction p =
+      combine_predictions(app, inter, std::vector<LaunchPrediction>{rep0, rep1});
+  // Cluster 0: 3 x 1000 insts at IPC 2 -> 1500 cycles.
+  // Cluster 1: 2 x 4000 insts at IPC 4 -> 2000 cycles.
+  EXPECT_DOUBLE_EQ(p.predicted_total_cycles, 3500.0);
+  EXPECT_DOUBLE_EQ(p.predicted_ipc, 11000.0 / 3500.0);
+  // Sampled: only the representatives' simulated instructions.
+  EXPECT_EQ(p.simulated_warp_insts, 3000u);
+  // Inter skips: the 3 non-representative launches (1000 + 4000... launches
+  // 0 and 2 from cluster 0, launch 4 from cluster 1).
+  EXPECT_EQ(p.skipped_inter_warp_insts, 1000u + 1000u + 4000u);
+  // Intra skips: what the representatives fast-forwarded (0 + 2000).
+  EXPECT_EQ(p.skipped_intra_warp_insts, 2000u);
+  EXPECT_EQ(p.total_warp_insts, 11000u);
+  EXPECT_NEAR(p.sample_fraction(), 3000.0 / 11000.0, 1e-12);
+  EXPECT_NEAR(p.inter_skip_share(), 6000.0 / 8000.0, 1e-12);
+}
+
+TEST(CombinePredictionsTest, SingleFullySimulatedLaunchIsIdentity) {
+  profile::ApplicationProfile app;
+  app.launches.push_back(uniform_launch(10, 100));
+  InterLaunchResult inter;
+  inter.cluster_of_launch = {0};
+  inter.clusters = {{0}};
+  inter.representatives = {0};
+
+  LaunchPrediction rep;
+  rep.total_warp_insts = 1000;
+  rep.simulated_warp_insts = 1000;
+  rep.predicted_cycles = 400;
+  rep.predicted_ipc = 2.5;
+
+  const ApplicationPrediction p =
+      combine_predictions(app, inter, std::vector<LaunchPrediction>{rep});
+  EXPECT_DOUBLE_EQ(p.predicted_ipc, 2.5);
+  EXPECT_DOUBLE_EQ(p.sample_fraction(), 1.0);
+  EXPECT_EQ(p.skipped_inter_warp_insts, 0u);
+  EXPECT_EQ(p.skipped_intra_warp_insts, 0u);
+  EXPECT_DOUBLE_EQ(p.inter_skip_share(), 0.0);
+}
+
+TEST(ApplicationPredictionTest, ShareMathHandlesZeroSkips) {
+  ApplicationPrediction p;
+  EXPECT_DOUBLE_EQ(p.inter_skip_share(), 0.0);
+  EXPECT_DOUBLE_EQ(p.sample_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace tbp::core

@@ -1,0 +1,150 @@
+#include "core/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbp::core {
+namespace {
+
+profile::BlockStats block(std::uint64_t warp_insts, std::uint64_t mem_requests) {
+  return profile::BlockStats{.thread_insts = warp_insts * 32,
+                             .warp_insts = warp_insts,
+                             .mem_requests = mem_requests};
+}
+
+/// n_epochs of `occ` blocks each, all with stall probability `p`.
+void append_epochs(profile::LaunchProfile& launch, std::size_t n_epochs,
+                   std::uint32_t occ, double p) {
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    for (std::uint32_t b = 0; b < occ; ++b) {
+      launch.blocks.push_back(
+          block(100, static_cast<std::uint64_t>(100 * p)));
+    }
+  }
+}
+
+TEST(RegionTableTest, LookupAndCoverage) {
+  RegionTable table(
+      10, {HomogeneousRegion{.region_id = 0, .start_block = 2, .end_block = 5},
+           HomogeneousRegion{.region_id = 1, .start_block = 7, .end_block = 9}});
+  EXPECT_EQ(table.region_of(0), RegionTable::kNoRegion);
+  EXPECT_EQ(table.region_of(2), 0);
+  EXPECT_EQ(table.region_of(5), 0);
+  EXPECT_EQ(table.region_of(6), RegionTable::kNoRegion);
+  EXPECT_EQ(table.region_of(7), 1);
+  EXPECT_EQ(table.region_of(9), 1);
+  EXPECT_EQ(table.region_of(99), RegionTable::kNoRegion);  // out of range
+  EXPECT_EQ(table.blocks_in_regions(), 7u);
+}
+
+TEST(RegionIdentificationTest, UniformLaunchIsOneRegion) {
+  profile::LaunchProfile launch;
+  append_epochs(launch, 10, 4, 0.2);
+  const RegionIdentification id = identify_regions(launch, 4);
+  ASSERT_EQ(id.table.regions().size(), 1u);
+  EXPECT_EQ(id.table.regions()[0].start_block, 0u);
+  EXPECT_EQ(id.table.regions()[0].end_block, 39u);
+  EXPECT_EQ(id.table.regions()[0].n_epochs, 10u);
+}
+
+TEST(RegionIdentificationTest, TwoPhasesMakeTwoRegions) {
+  // The paper's Fig. 6 structure: stall probability 0.2 then 0.5.
+  profile::LaunchProfile launch;
+  append_epochs(launch, 5, 4, 0.2);
+  append_epochs(launch, 5, 4, 0.5);
+  const RegionIdentification id = identify_regions(launch, 4);
+  ASSERT_EQ(id.table.regions().size(), 2u);
+  EXPECT_EQ(id.table.regions()[0].end_block, 19u);
+  EXPECT_EQ(id.table.regions()[1].start_block, 20u);
+  EXPECT_NE(id.table.regions()[0].region_id, id.table.regions()[1].region_id);
+}
+
+TEST(RegionIdentificationTest, SimilarStallProbabilitiesMergeWithinThreshold) {
+  // 0.20 vs 0.25 is inside sigma = 0.2 for the 1-D intra vectors.
+  profile::LaunchProfile launch;
+  append_epochs(launch, 5, 4, 0.20);
+  append_epochs(launch, 5, 4, 0.25);
+  const RegionIdentification id = identify_regions(launch, 4);
+  EXPECT_EQ(id.table.regions().size(), 1u);
+}
+
+TEST(RegionIdentificationTest, OutlierEpochBreaksRegion) {
+  profile::LaunchProfile launch;
+  append_epochs(launch, 4, 4, 0.2);
+  // One epoch with an mst-style outlier block: same p, 16x the size.
+  launch.blocks.push_back(block(1600, 320));
+  launch.blocks.push_back(block(100, 20));
+  launch.blocks.push_back(block(100, 20));
+  launch.blocks.push_back(block(100, 20));
+  append_epochs(launch, 4, 4, 0.2);
+  const RegionIdentification id = identify_regions(launch, 4);
+  ASSERT_EQ(id.epochs.size(), 9u);
+  EXPECT_TRUE(id.epoch_is_outlier[4]);
+  // Two regions of 4 epochs, with the flagged epoch outside both.
+  ASSERT_EQ(id.table.regions().size(), 2u);
+  for (std::uint32_t b = 16; b < 20; ++b) {
+    EXPECT_EQ(id.table.region_of(b), RegionTable::kNoRegion);
+  }
+}
+
+TEST(RegionIdentificationTest, ShortRunsAreDiscarded) {
+  // Alternating phases of 2 epochs never reach min_region_epochs = 3.
+  profile::LaunchProfile launch;
+  for (int i = 0; i < 4; ++i) {
+    append_epochs(launch, 2, 4, 0.1);
+    append_epochs(launch, 2, 4, 0.9);
+  }
+  const RegionIdentification id = identify_regions(launch, 4);
+  EXPECT_TRUE(id.table.regions().empty());
+}
+
+TEST(RegionIdentificationTest, MinRegionEpochsConfigurable) {
+  profile::LaunchProfile launch;
+  for (int i = 0; i < 4; ++i) {
+    append_epochs(launch, 2, 4, 0.1);
+    append_epochs(launch, 2, 4, 0.9);
+  }
+  IntraLaunchOptions options;
+  options.min_region_epochs = 2;
+  const RegionIdentification id = identify_regions(launch, 4, options);
+  EXPECT_EQ(id.table.regions().size(), 8u);
+}
+
+TEST(RegionIdentificationTest, RegionsNeverOverlapAndStayInBounds) {
+  profile::LaunchProfile launch;
+  append_epochs(launch, 3, 5, 0.1);
+  append_epochs(launch, 4, 5, 0.6);
+  append_epochs(launch, 3, 5, 0.1);
+  const RegionIdentification id = identify_regions(launch, 5);
+  const auto n_blocks = static_cast<std::uint32_t>(launch.blocks.size());
+  std::uint32_t last_end = 0;
+  bool first = true;
+  for (const HomogeneousRegion& r : id.table.regions()) {
+    EXPECT_LE(r.start_block, r.end_block);
+    EXPECT_LT(r.end_block, n_blocks);
+    if (!first) {
+      EXPECT_GT(r.start_block, last_end);
+    }
+    last_end = r.end_block;
+    first = false;
+  }
+}
+
+TEST(RegionIdentificationTest, DistanceThresholdControlsMerging) {
+  profile::LaunchProfile launch;
+  append_epochs(launch, 5, 4, 0.2);
+  append_epochs(launch, 5, 4, 0.5);
+  IntraLaunchOptions loose;
+  loose.distance_threshold = 0.5;
+  const RegionIdentification id = identify_regions(launch, 4, loose);
+  EXPECT_EQ(id.table.regions().size(), 1u);  // 0.3 apart merges at sigma 0.5
+}
+
+TEST(RegionIdentificationTest, EmptyLaunch) {
+  profile::LaunchProfile launch;
+  const RegionIdentification id = identify_regions(launch, 4);
+  EXPECT_TRUE(id.epochs.empty());
+  EXPECT_TRUE(id.table.regions().empty());
+}
+
+}  // namespace
+}  // namespace tbp::core

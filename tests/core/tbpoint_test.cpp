@@ -1,0 +1,157 @@
+// End-to-end TBPoint pipeline tests on small synthetic applications.
+#include "core/tbpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "trace/generator.hpp"
+
+namespace tbp::core {
+namespace {
+
+trace::BlockBehavior behavior(std::uint32_t iterations) {
+  trace::BlockBehavior b;
+  b.loop_iterations = iterations;
+  b.alu_per_iteration = 4;
+  b.mem_per_iteration = 1;
+  b.stores_per_iteration = 1;
+  b.lines_per_access = 2;
+  b.pattern = trace::AddressPattern::kStreaming;
+  return b;
+}
+
+struct App {
+  std::vector<std::unique_ptr<trace::SyntheticLaunch>> launches;
+  profile::ApplicationProfile profile;
+
+  void add_launch(std::uint32_t n_blocks, std::uint32_t iterations,
+                  std::uint64_t seed) {
+    launches.push_back(std::make_unique<trace::SyntheticLaunch>(
+        trace::make_synthetic_kernel_info("tbp_test"), n_blocks, seed,
+        [iterations](std::uint32_t) { return behavior(iterations); }));
+    profile.launches.push_back(profile::profile_launch(*launches.back()));
+  }
+
+  [[nodiscard]] std::vector<const trace::LaunchTraceSource*> sources() const {
+    std::vector<const trace::LaunchTraceSource*> out;
+    for (const auto& l : launches) out.push_back(l.get());
+    return out;
+  }
+
+  [[nodiscard]] double full_ipc(const sim::GpuConfig& config) const {
+    sim::GpuSimulator simulator(config);
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    for (const auto& l : launches) {
+      const sim::LaunchResult r = simulator.run_launch(*l);
+      cycles += r.cycles;
+      insts += r.sim_warp_insts;
+    }
+    return static_cast<double>(insts) / static_cast<double>(cycles);
+  }
+};
+
+sim::GpuConfig small_config() {
+  sim::GpuConfig config = sim::fermi_config();
+  config.n_sms = 2;
+  return config;
+}
+
+TEST(TBPointTest, IdenticalLaunchesCollapseToOneRepresentative) {
+  App app;
+  for (int i = 0; i < 8; ++i) app.add_launch(60, 6, /*seed=*/7);
+  const TBPointRun run =
+      run_tbpoint(app.sources(), app.profile, small_config(), {});
+  EXPECT_EQ(run.inter.clusters.size(), 1u);
+  ASSERT_EQ(run.reps.size(), 1u);
+  // 7 of 8 launches were never simulated.
+  EXPECT_LE(run.app.sample_fraction(), 1.0 / 8.0 + 1e-9);
+  EXPECT_GT(run.app.skipped_inter_warp_insts, 0u);
+}
+
+TEST(TBPointTest, PredictionMatchesFullForHomogeneousApp) {
+  App app;
+  for (int i = 0; i < 6; ++i) app.add_launch(50, 6, 7);
+  const sim::GpuConfig config = small_config();
+  const TBPointRun run = run_tbpoint(app.sources(), app.profile, config, {});
+  const double full = app.full_ipc(config);
+  EXPECT_NEAR(run.app.predicted_ipc, full, 0.05 * full);
+}
+
+TEST(TBPointTest, HeterogeneousLaunchesGetSeparateRepresentatives) {
+  App app;
+  app.add_launch(50, 4, 7);
+  app.add_launch(50, 4, 7);
+  app.add_launch(50, 16, 9);  // 4x the work per block
+  app.add_launch(50, 16, 9);
+  const TBPointRun run =
+      run_tbpoint(app.sources(), app.profile, small_config(), {});
+  EXPECT_EQ(run.inter.clusters.size(), 2u);
+  EXPECT_EQ(run.reps.size(), 2u);
+}
+
+TEST(TBPointTest, DisablingInterSimulatesEveryLaunch) {
+  App app;
+  for (int i = 0; i < 5; ++i) app.add_launch(40, 6, 7);
+  TBPointOptions options;
+  options.enable_inter = false;
+  const TBPointRun run =
+      run_tbpoint(app.sources(), app.profile, small_config(), options);
+  EXPECT_EQ(run.reps.size(), 5u);
+  EXPECT_EQ(run.app.skipped_inter_warp_insts, 0u);
+}
+
+TEST(TBPointTest, DisablingIntraSimulatesRepresentativesFully) {
+  App app;
+  for (int i = 0; i < 4; ++i) app.add_launch(120, 6, 7);
+  TBPointOptions options;
+  options.enable_intra = false;
+  const TBPointRun run =
+      run_tbpoint(app.sources(), app.profile, small_config(), options);
+  ASSERT_EQ(run.reps.size(), 1u);
+  EXPECT_EQ(run.app.skipped_intra_warp_insts, 0u);
+  EXPECT_DOUBLE_EQ(run.reps[0].prediction.sample_fraction(), 1.0);
+}
+
+TEST(TBPointTest, IntraSamplingSkipsWithinLargeUniformLaunch) {
+  App app;
+  app.add_launch(400, 6, 7);  // one big homogeneous launch
+  const sim::GpuConfig config = small_config();  // occupancy 12 -> 34 epochs
+  const TBPointRun run = run_tbpoint(app.sources(), app.profile, config, {});
+  ASSERT_EQ(run.reps.size(), 1u);
+  EXPECT_GT(run.app.skipped_intra_warp_insts, 0u);
+  EXPECT_LT(run.app.sample_fraction(), 0.8);
+  // And the prediction still tracks the full simulation.
+  const double full = app.full_ipc(config);
+  EXPECT_NEAR(run.app.predicted_ipc, full, 0.05 * full);
+}
+
+TEST(TBPointTest, SampleAccountingIsConsistent) {
+  App app;
+  app.add_launch(300, 6, 7);
+  app.add_launch(300, 6, 7);
+  app.add_launch(100, 12, 9);
+  const TBPointRun run =
+      run_tbpoint(app.sources(), app.profile, small_config(), {});
+  EXPECT_EQ(run.app.simulated_warp_insts + run.app.skipped_inter_warp_insts +
+                run.app.skipped_intra_warp_insts,
+            run.app.total_warp_insts);
+  EXPECT_EQ(run.app.total_warp_insts, app.profile.total_warp_insts());
+}
+
+TEST(TBPointTest, DeterministicAcrossRuns) {
+  App app;
+  app.add_launch(200, 6, 7);
+  app.add_launch(200, 9, 8);
+  const TBPointRun a = run_tbpoint(app.sources(), app.profile, small_config(), {});
+  const TBPointRun b = run_tbpoint(app.sources(), app.profile, small_config(), {});
+  EXPECT_DOUBLE_EQ(a.app.predicted_ipc, b.app.predicted_ipc);
+  EXPECT_EQ(a.app.simulated_warp_insts, b.app.simulated_warp_insts);
+}
+
+}  // namespace
+}  // namespace tbp::core

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <filesystem>
+#include <string>
+
+#include "harness/cache.hpp"
+#include "harness/cli.hpp"
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::harness {
+namespace {
+
+// ---- run_comparison on a fast benchmark ----
+
+TEST(ExperimentTest, ComparisonProducesCoherentRow) {
+  workloads::WorkloadScale scale;
+  scale.divisor = 32;
+  const workloads::Workload workload = workloads::make_workload("stream", scale);
+  sim::GpuConfig config = sim::fermi_config();
+  config.n_sms = 4;
+  ComparisonOptions options;
+  options.target_units = 60;
+  const ExperimentRow row = run_comparison(workload, config, options);
+
+  EXPECT_EQ(row.workload, "stream");
+  EXPECT_FALSE(row.irregular);
+  EXPECT_GT(row.full_ipc, 0.0);
+  EXPECT_LE(row.full_ipc, 4.0);
+  EXPECT_GT(row.total_warp_insts, 0u);
+  // Every method produced a prediction in the right ballpark.
+  for (const MethodResult* m : {&row.random, &row.simpoint, &row.tbpoint}) {
+    EXPECT_GT(m->ipc, 0.0);
+    EXPECT_LT(m->err_pct, 50.0);
+    EXPECT_GT(m->sample_pct, 0.0);
+    EXPECT_LE(m->sample_pct, 100.0);
+  }
+  // stream: hundreds of homogeneous launches -> few clusters, tiny sample,
+  // inter-launch dominated (the paper's Fig. 11 observation).
+  EXPECT_LT(row.tbp_clusters, workload.launches.size() / 4);
+  EXPECT_LT(row.tbpoint.sample_pct, row.random.sample_pct);
+  EXPECT_GT(row.inter_skip_share, 0.5);
+}
+
+TEST(ExperimentTest, DeterministicRow) {
+  workloads::WorkloadScale scale;
+  scale.divisor = 32;
+  const workloads::Workload workload = workloads::make_workload("hotspot", scale);
+  sim::GpuConfig config = sim::fermi_config();
+  config.n_sms = 4;
+  ComparisonOptions options;
+  options.target_units = 40;
+  const ExperimentRow a = run_comparison(workload, config, options);
+  const ExperimentRow b = run_comparison(workload, config, options);
+  EXPECT_DOUBLE_EQ(a.full_ipc, b.full_ipc);
+  EXPECT_DOUBLE_EQ(a.tbpoint.ipc, b.tbpoint.ipc);
+  EXPECT_DOUBLE_EQ(a.random.ipc, b.random.ipc);
+  EXPECT_DOUBLE_EQ(a.simpoint.ipc, b.simpoint.ipc);
+}
+
+// ---- cache ----
+
+TEST(CacheTest, KeyChangesWithInputs) {
+  const workloads::WorkloadScale scale;
+  const sim::GpuConfig config = sim::fermi_config();
+  const ComparisonOptions options;
+  const std::string base = experiment_key("bfs", scale, config, options);
+
+  workloads::WorkloadScale other_scale = scale;
+  other_scale.divisor += 1;
+  EXPECT_NE(base, experiment_key("bfs", other_scale, config, options));
+
+  sim::GpuConfig other_config = config;
+  other_config.n_sms = 7;
+  EXPECT_NE(base, experiment_key("bfs", scale, other_config, options));
+
+  ComparisonOptions other_options;
+  other_options.tbpoint.intra.distance_threshold = 0.4;
+  EXPECT_NE(base, experiment_key("bfs", scale, config, other_options));
+
+  EXPECT_NE(base, experiment_key("sssp", scale, config, options));
+}
+
+TEST(CacheTest, RowRoundTrips) {
+  const std::string dir = ::testing::TempDir() + "/tbp_cache_test";
+  std::filesystem::remove_all(dir);
+
+  ExperimentRow row;
+  row.workload = "bfs";
+  row.irregular = true;
+  row.n_launches = 14;
+  row.total_blocks = 10619;
+  row.total_warp_insts = 123456789;
+  row.full_ipc = 2.25;
+  row.random = {.ipc = 2.1, .err_pct = 6.7, .sample_pct = 10.0};
+  row.simpoint = {.ipc = 2.2, .err_pct = 2.2, .sample_pct = 5.5};
+  row.tbpoint = {.ipc = 2.24, .err_pct = 0.4, .sample_pct = 2.6};
+  row.inter_skip_share = 0.25;
+  row.simpoint_k = 7;
+  row.tbp_clusters = 3;
+  row.unit_insts = 50000;
+  row.full_sim_seconds = 12.5;
+  row.tbp_seconds = 1.5;
+
+  save_cached_row(dir, "test_key", row);
+  const auto loaded = load_cached_row(dir, "test_key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->workload, "bfs");
+  EXPECT_TRUE(loaded->irregular);
+  EXPECT_EQ(loaded->n_launches, 14u);
+  EXPECT_DOUBLE_EQ(loaded->full_ipc, 2.25);
+  EXPECT_DOUBLE_EQ(loaded->tbpoint.sample_pct, 2.6);
+  EXPECT_DOUBLE_EQ(loaded->inter_skip_share, 0.25);
+  EXPECT_EQ(loaded->simpoint_k, 7u);
+}
+
+TEST(CacheTest, MissingRowIsNullopt) {
+  EXPECT_FALSE(load_cached_row("/nonexistent_dir", "nope").has_value());
+}
+
+// ---- csv export ----
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  ExperimentRow row;
+  row.workload = "bfs";
+  row.irregular = true;
+  row.full_ipc = 2.5;
+  row.tbpoint = {.ipc = 2.49, .err_pct = 0.4, .sample_pct = 10.0};
+
+  std::ostringstream out;
+  write_rows_csv(std::vector<ExperimentRow>{row}, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("workload,type"), std::string::npos);
+  EXPECT_NE(text.find("tbpoint_err_pct"), std::string::npos);
+  EXPECT_NE(text.find("bfs,I,"), std::string::npos);
+  // Exactly one header + one data line.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(CsvTest, FileRoundTripIsReadable) {
+  ExperimentRow row;
+  row.workload = "spmv";
+  const std::string path = ::testing::TempDir() + "/tbp_csv_test.csv";
+  ASSERT_TRUE(write_rows_csv_file(std::vector<ExperimentRow>{row}, path));
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("systematic_err_pct"), std::string::npos);
+}
+
+// ---- table printing ----
+
+TEST(TableTest, FormatsAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"short", "1.00"});
+  table.add_row({"much_longer_name", "2.00"});
+  table.add_separator();
+  table.add_row({"geomean", "1.41"});
+
+  const std::string path = ::testing::TempDir() + "/tbp_table_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  table.print(f);
+  std::fclose(f);
+
+  std::string contents;
+  {
+    std::FILE* in = std::fopen(path.c_str(), "r");
+    char buffer[256];
+    while (std::fgets(buffer, sizeof buffer, in)) contents += buffer;
+    std::fclose(in);
+  }
+  EXPECT_NE(contents.find("much_longer_name"), std::string::npos);
+  EXPECT_NE(contents.find("geomean"), std::string::npos);
+  EXPECT_NE(contents.find("----"), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt_pct(7.949, 2), "7.95%");
+}
+
+TEST(TableTest, GeomeanPct) {
+  const std::vector<double> errors = {4.0, 1.0};
+  EXPECT_NEAR(geomean_pct(errors), 2.0, 1e-12);
+}
+
+// ---- cli ----
+
+TEST(CliTest, ParsesCommonFlags) {
+  const char* argv[] = {"prog", "--scale", "8",       "--seed",
+                        "42",   "--benchmarks", "bfs,mst", "--no-cache"};
+  const CommonFlags flags =
+      parse_common_flags(8, const_cast<char**>(argv));
+  EXPECT_EQ(flags.scale.divisor, 8u);
+  EXPECT_EQ(flags.scale.seed, 42u);
+  EXPECT_EQ(flags.benchmarks, (std::vector<std::string>{"bfs", "mst"}));
+  EXPECT_TRUE(flags.cache_dir.empty());
+}
+
+TEST(CliTest, DefaultsToAllBenchmarks) {
+  const char* argv[] = {"prog"};
+  const CommonFlags flags = parse_common_flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.benchmark_list().size(), 12u);
+  EXPECT_EQ(flags.cache_dir, "tbpoint_cache");
+}
+
+TEST(CliTest, HasFlagAndFlagValue) {
+  const char* argv[] = {"prog", "--full", "--mode", "fast"};
+  char** args = const_cast<char**>(argv);
+  EXPECT_TRUE(has_flag(4, args, "--full"));
+  EXPECT_FALSE(has_flag(4, args, "--quick"));
+  EXPECT_EQ(flag_value(4, args, "--mode", "slow"), "fast");
+  EXPECT_EQ(flag_value(4, args, "--other", "slow"), "slow");
+}
+
+}  // namespace
+}  // namespace tbp::harness

@@ -1,0 +1,53 @@
+#include "markov/constant_latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tbp::markov {
+namespace {
+
+TEST(ConstantLatencyTest, MatchesClosedFormChain) {
+  // With M constant, the model is exactly the uniform-M chain.
+  WarpChainParams params;
+  params.stall_probability = 0.1;
+  params.stall_cycles.assign(4, 200.0);
+  EXPECT_DOUBLE_EQ(constant_latency_ipc(0.1, 200.0, 4), closed_form_ipc(params));
+}
+
+TEST(ConstantLatencyTest, EqualsStochasticMeanWhenVarianceVanishes) {
+  MonteCarloConfig config;
+  config.stall_probability = 0.1;
+  config.mean_stall_cycles = 300.0;
+  config.n_warps = 4;
+  config.n_samples = 500;
+  config.latency_tolerance = 1e-9;  // M distribution collapses to a point
+  const ModelComparison cmp = compare_models(config);
+  EXPECT_NEAR(cmp.stochastic_mean_ipc, cmp.constant_m_ipc,
+              1e-4 * cmp.constant_m_ipc);
+  EXPECT_LT(cmp.unmodeled_variation(), 1e-4);
+}
+
+TEST(ConstantLatencyTest, StochasticModelExposesVariationBand) {
+  // The paper's point: with realistic M variance the IPC spreads, and the
+  // constant-M model cannot express that spread at all.
+  MonteCarloConfig config;
+  config.stall_probability = 0.1;
+  config.mean_stall_cycles = 400.0;
+  config.n_warps = 4;
+  config.n_samples = 2000;
+  config.latency_tolerance = 0.1;
+  const ModelComparison cmp = compare_models(config);
+  EXPECT_GT(cmp.unmodeled_variation(), 0.02);
+  EXPECT_LT(cmp.stochastic_p5_ipc, cmp.constant_m_ipc);
+  EXPECT_GT(cmp.stochastic_p95_ipc, cmp.stochastic_p5_ipc);
+  // The mean still tracks the deterministic prediction closely.
+  EXPECT_NEAR(cmp.stochastic_mean_ipc, cmp.constant_m_ipc,
+              0.05 * cmp.constant_m_ipc);
+}
+
+TEST(ConstantLatencyTest, MoreWarpsRaiseIpc) {
+  EXPECT_GT(constant_latency_ipc(0.1, 200.0, 8),
+            constant_latency_ipc(0.1, 200.0, 2));
+}
+
+}  // namespace
+}  // namespace tbp::markov

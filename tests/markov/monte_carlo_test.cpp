@@ -1,0 +1,98 @@
+#include "markov/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace tbp::markov {
+namespace {
+
+MonteCarloConfig small_config() {
+  MonteCarloConfig config;
+  config.n_samples = 2000;  // plenty for the 95% property, fast for tests
+  return config;
+}
+
+TEST(MonteCarloTest, DeterministicForSameSeed) {
+  const MonteCarloResult a = run_ipc_variation(small_config());
+  const MonteCarloResult b = run_ipc_variation(small_config());
+  EXPECT_EQ(a.sample_ipcs, b.sample_ipcs);
+}
+
+TEST(MonteCarloTest, DifferentSeedsDiffer) {
+  MonteCarloConfig config = small_config();
+  const MonteCarloResult a = run_ipc_variation(config);
+  config.seed ^= 1;
+  const MonteCarloResult b = run_ipc_variation(config);
+  EXPECT_NE(a.sample_ipcs, b.sample_ipcs);
+}
+
+TEST(MonteCarloTest, SampleCountHonored) {
+  MonteCarloConfig config = small_config();
+  config.n_samples = 123;
+  EXPECT_EQ(run_ipc_variation(config).sample_ipcs.size(), 123u);
+}
+
+TEST(MonteCarloTest, PercentilesBracketOne) {
+  const MonteCarloResult result = run_ipc_variation(small_config());
+  ASSERT_EQ(result.normalized_ipc_percentiles.size(), 101u);
+  // Normalized by the mean, the CDF must straddle 1.0 and be nondecreasing.
+  EXPECT_LT(result.normalized_ipc_percentiles.front(), 1.0);
+  EXPECT_GT(result.normalized_ipc_percentiles.back(), 1.0);
+  for (std::size_t i = 1; i < 101; ++i) {
+    EXPECT_GE(result.normalized_ipc_percentiles[i],
+              result.normalized_ipc_percentiles[i - 1]);
+  }
+}
+
+// The paper's Fig. 5 configurations: Lemma 4.1 must hold for each.
+class Lemma41 : public ::testing::TestWithParam<
+                    std::tuple<double, double, std::size_t>> {};
+
+TEST_P(Lemma41, HoldsForConfiguration) {
+  const auto [p, m, n] = GetParam();
+  MonteCarloConfig config = small_config();
+  config.stall_probability = p;
+  config.mean_stall_cycles = m;
+  config.n_warps = n;
+  const MonteCarloResult result = run_ipc_variation(config);
+  EXPECT_TRUE(satisfies_lemma_4_1(result))
+      << "p=" << p << " M=" << m << " N=" << n
+      << " within10=" << result.fraction_within_10pct;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig5Configs, Lemma41,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2),
+                       ::testing::Values(100.0, 400.0),
+                       ::testing::Values(std::size_t{4}, std::size_t{8})));
+
+TEST(MonteCarloTest, ExactAndClosedFormSolverAgree) {
+  // Forcing the closed-form path must give (statistically) identical
+  // results to the matrix path because the chains are product chains.
+  MonteCarloConfig exact = small_config();
+  exact.n_warps = 4;
+  exact.n_samples = 200;
+  exact.exact_solver_max_warps = 10;  // matrix path
+  MonteCarloConfig closed = exact;
+  closed.exact_solver_max_warps = 0;  // closed-form path
+  const MonteCarloResult a = run_ipc_variation(exact);
+  const MonteCarloResult b = run_ipc_variation(closed);
+  ASSERT_EQ(a.sample_ipcs.size(), b.sample_ipcs.size());
+  for (std::size_t i = 0; i < a.sample_ipcs.size(); ++i) {
+    EXPECT_NEAR(a.sample_ipcs[i], b.sample_ipcs[i], 1e-6);
+  }
+}
+
+TEST(MonteCarloTest, TighterLatencyToleranceShrinksSpread) {
+  MonteCarloConfig wide = small_config();
+  wide.latency_tolerance = 0.2;
+  MonteCarloConfig narrow = small_config();
+  narrow.latency_tolerance = 0.02;
+  const MonteCarloResult w = run_ipc_variation(wide);
+  const MonteCarloResult n = run_ipc_variation(narrow);
+  EXPECT_LT(n.max_ipc - n.min_ipc, w.max_ipc - w.min_ipc);
+}
+
+}  // namespace
+}  // namespace tbp::markov

@@ -1,0 +1,118 @@
+#include "markov/warp_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+namespace tbp::markov {
+namespace {
+
+WarpChainParams uniform_params(double p, double m, std::size_t n) {
+  return WarpChainParams{.stall_probability = p,
+                         .stall_cycles = std::vector<double>(n, m)};
+}
+
+TEST(WarpChainTest, TransitionMatrixIsRowStochastic) {
+  const stats::Matrix t = build_transition_matrix(uniform_params(0.1, 100.0, 4));
+  EXPECT_EQ(t.rows(), 16u);
+  EXPECT_EQ(t.cols(), 16u);
+  EXPECT_LT(t.max_row_sum_error(), 1e-12);
+}
+
+TEST(WarpChainTest, TransitionProbabilitiesMatchHandComputation) {
+  // One warp: 2x2 chain.  State 0 = stalled, state 1 = runnable.
+  const stats::Matrix t = build_transition_matrix(uniform_params(0.2, 10.0, 1));
+  EXPECT_NEAR(t.at(1, 0), 0.2, 1e-15);        // runnable -> stall: p
+  EXPECT_NEAR(t.at(1, 1), 0.8, 1e-15);        // stays runnable: 1-p
+  EXPECT_NEAR(t.at(0, 1), 0.1, 1e-15);        // wake: 1/M
+  EXPECT_NEAR(t.at(0, 0), 0.9, 1e-15);        // stays stalled: 1-1/M
+}
+
+TEST(WarpChainTest, PaperExampleTransition) {
+  // S_{6,2}: 0110 -> 0010 with the paper's MSB-first warp indexing.  In our
+  // LSB-first encoding the same physical transition is 0110 -> 0100:
+  // exactly one runnable warp stalls, the others keep their states.
+  const double p = 0.1;
+  const double m = 50.0;
+  const stats::Matrix t = build_transition_matrix(uniform_params(p, m, 4));
+  // 6 = 0110: warps 1, 2 runnable; warps 0, 3 stalled.
+  // 4 = 0100: warp 1 stalls (p), warp 2 stays runnable (1-p),
+  //           warps 0 and 3 stay stalled (1 - 1/M each).
+  const double expected = (1.0 - 1.0 / m) * p * (1.0 - p) * (1.0 - 1.0 / m);
+  EXPECT_NEAR(t.at(6, 4), expected, 1e-15);
+}
+
+TEST(WarpChainTest, SteadyStateSumsToOne) {
+  const SteadyState ss = solve_warp_chain(uniform_params(0.1, 100.0, 4));
+  double sum = 0.0;
+  for (double v : ss.distribution) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// Property: the 2^N-state matrix solution must match the closed-form
+// product of independent per-warp stationary distributions.
+class ClosedFormAgreement
+    : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {};
+
+TEST_P(ClosedFormAgreement, MatrixMatchesClosedForm) {
+  const auto [p, m, n] = GetParam();
+  const WarpChainParams params = uniform_params(p, m, n);
+  const SteadyState ss = solve_warp_chain(params);
+  EXPECT_NEAR(ss.ipc, closed_form_ipc(params), 1e-7)
+      << "p=" << p << " M=" << m << " N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClosedFormAgreement,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 0.5),
+                       ::testing::Values(10.0, 100.0, 400.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{6})));
+
+TEST(WarpChainTest, HeterogeneousLatenciesMatchClosedForm) {
+  WarpChainParams params;
+  params.stall_probability = 0.15;
+  params.stall_cycles = {80.0, 120.0, 400.0, 33.0};
+  const SteadyState ss = solve_warp_chain(params);
+  EXPECT_NEAR(ss.ipc, closed_form_ipc(params), 1e-7);
+}
+
+TEST(WarpChainTest, MoreWarpsRaiseIpc) {
+  double prev = 0.0;
+  for (std::size_t n = 1; n <= 6; ++n) {
+    const double ipc = closed_form_ipc(uniform_params(0.1, 200.0, n));
+    EXPECT_GT(ipc, prev);
+    prev = ipc;
+  }
+}
+
+TEST(WarpChainTest, HigherStallProbabilityLowersIpc) {
+  double prev = 2.0;
+  for (double p : {0.05, 0.1, 0.2, 0.4}) {
+    const double ipc = closed_form_ipc(uniform_params(p, 200.0, 4));
+    EXPECT_LT(ipc, prev);
+    prev = ipc;
+  }
+}
+
+TEST(WarpChainTest, IpcWithinUnitInterval) {
+  for (double p : {0.01, 0.5, 0.99}) {
+    for (double m : {2.0, 1000.0}) {
+      const double ipc = closed_form_ipc(uniform_params(p, m, 4));
+      EXPECT_GT(ipc, 0.0);
+      EXPECT_LE(ipc, 1.0);
+    }
+  }
+}
+
+TEST(WarpChainTest, SingleWarpIpcFormula) {
+  // N=1: IPC = 1 - pM/(pM+1) = 1/(pM+1).
+  const double p = 0.1;
+  const double m = 100.0;
+  EXPECT_NEAR(closed_form_ipc(uniform_params(p, m, 1)), 1.0 / (p * m + 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tbp::markov

@@ -1,0 +1,158 @@
+#include "sim/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbp::sim {
+namespace {
+
+GpuConfig config() { return fermi_config(); }
+
+/// Advances the memory system until `n` completions arrive.
+std::vector<MemCompletion> drain(MemorySystem& memory, std::size_t n,
+                                 std::uint64_t start = 1,
+                                 std::uint64_t max_cycles = 100000) {
+  std::vector<MemCompletion> out;
+  for (std::uint64_t c = start; c < start + max_cycles && out.size() < n; ++c) {
+    memory.tick(c, out);
+  }
+  return out;
+}
+
+TEST(MemorySystemTest, ColdLoadMissesAndCompletes) {
+  MemorySystem memory(config());
+  EXPECT_FALSE(memory.load(0, 100, /*token=*/7, /*cycle=*/0));
+  const auto completions = drain(memory, 1);
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].sm_id, 0u);
+  EXPECT_EQ(completions[0].token, 7u);
+  EXPECT_FALSE(memory.busy());
+}
+
+TEST(MemorySystemTest, SecondLoadHitsL1AfterFill) {
+  MemorySystem memory(config());
+  (void)memory.load(0, 100, 1, 0);
+  (void)drain(memory, 1);
+  EXPECT_TRUE(memory.load(0, 100, 2, 5000));
+  EXPECT_EQ(memory.stats().l1.hits, 1u);
+}
+
+TEST(MemorySystemTest, MshrMergesSameLine) {
+  MemorySystem memory(config());
+  EXPECT_FALSE(memory.load(0, 100, 1, 0));
+  EXPECT_FALSE(memory.load(0, 100, 2, 0));
+  EXPECT_FALSE(memory.load(0, 100, 3, 0));
+  const auto completions = drain(memory, 3);
+  // One fill wakes all three waiters; only one DRAM load happened.
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(memory.stats().l1_mshr_merges, 2u);
+  EXPECT_EQ(memory.stats().dram.loads, 1u);
+}
+
+TEST(MemorySystemTest, CrossSmLoadsShareL2Fill) {
+  MemorySystem memory(config());
+  EXPECT_FALSE(memory.load(0, 100, 1, 0));
+  EXPECT_FALSE(memory.load(1, 100, 1, 0));
+  const auto completions = drain(memory, 2);
+  ASSERT_EQ(completions.size(), 2u);
+  // Both SMs got woken, but DRAM saw a single load (merged in L2 MSHR).
+  EXPECT_EQ(memory.stats().dram.loads, 1u);
+  EXPECT_EQ(memory.stats().l2_mshr_merges, 1u);
+}
+
+TEST(MemorySystemTest, L2HitIsFasterThanDram) {
+  MemorySystem memory(config());
+  // SM 0 warms the line into L2 (and its own L1).
+  (void)memory.load(0, 100, 1, 0);
+  std::vector<MemCompletion> out;
+  std::uint64_t first_done = 0;
+  for (std::uint64_t c = 1; c < 100000 && out.empty(); ++c) {
+    memory.tick(c, out);
+    first_done = c;
+  }
+  // SM 1 misses its L1 but hits L2.
+  out.clear();
+  const std::uint64_t start = first_done + 10;
+  EXPECT_FALSE(memory.load(1, 100, 2, start));
+  std::uint64_t second_done = 0;
+  for (std::uint64_t c = start + 1; c < start + 100000 && out.empty(); ++c) {
+    memory.tick(c, out);
+    second_done = c;
+  }
+  EXPECT_LT(second_done - start, first_done);  // L2 hit beats full DRAM trip
+  EXPECT_EQ(memory.stats().l2.hits, 1u);
+}
+
+TEST(MemorySystemTest, StoresProduceNoCompletions) {
+  MemorySystem memory(config());
+  memory.store(0, 100, 0);
+  memory.store(0, 200, 0);
+  const auto completions = drain(memory, 1, 1, 5000);
+  EXPECT_TRUE(completions.empty());
+  EXPECT_EQ(memory.stats().dram.stores, 2u);
+  EXPECT_FALSE(memory.busy());
+}
+
+TEST(MemorySystemTest, StoreToCachedL2LineStopsAtL2) {
+  MemorySystem memory(config());
+  (void)memory.load(0, 100, 1, 0);
+  (void)drain(memory, 1);
+  const std::uint64_t dram_before = memory.stats().dram.stores;
+  memory.store(0, 100, 6000);
+  (void)drain(memory, 1, 6001, 2000);
+  EXPECT_EQ(memory.stats().dram.stores, dram_before);  // absorbed by L2
+}
+
+TEST(MemorySystemTest, MshrOverflowStillCompletesEverything) {
+  GpuConfig small = config();
+  small.l1_mshrs = 4;
+  MemorySystem memory(small);
+  // 32 distinct lines from one SM: 4 in MSHRs, 28 queued in overflow.
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(memory.load(0, 1000 + i, i, 0));
+  }
+  EXPECT_GT(memory.stats().l1_mshr_stalls, 0u);
+  const auto completions = drain(memory, 32);
+  EXPECT_EQ(completions.size(), 32u);
+  EXPECT_FALSE(memory.busy());
+}
+
+TEST(MemorySystemTest, BusyReflectsInFlightWork) {
+  MemorySystem memory(config());
+  EXPECT_FALSE(memory.busy());
+  (void)memory.load(0, 1, 1, 0);
+  EXPECT_TRUE(memory.busy());
+  (void)drain(memory, 1);
+  EXPECT_FALSE(memory.busy());
+}
+
+TEST(MemorySystemTest, ResetRestoresColdState) {
+  MemorySystem memory(config());
+  (void)memory.load(0, 100, 1, 0);
+  (void)drain(memory, 1);
+  memory.reset();
+  EXPECT_FALSE(memory.busy());
+  EXPECT_EQ(memory.stats().l1.hits + memory.stats().l1.misses, 0u);
+  EXPECT_FALSE(memory.load(0, 100, 1, 0));  // cold again
+}
+
+TEST(MemorySystemTest, CompletionLatencyIncludesInterconnectBothWays) {
+  const GpuConfig cfg = config();
+  MemorySystem memory(cfg);
+  (void)memory.load(0, 0, 1, 0);
+  std::vector<MemCompletion> out;
+  std::uint64_t done = 0;
+  for (std::uint64_t c = 1; c < 100000 && out.empty(); ++c) {
+    memory.tick(c, out);
+    done = c;
+  }
+  // Round trip >= interconnect out + DRAM row miss + burst + L2 + back.
+  const std::uint64_t lower_bound = cfg.lat.interconnect + cfg.dram.row_miss_cycles +
+                                    cfg.dram.burst_cycles + cfg.lat.l2_hit +
+                                    cfg.lat.interconnect;
+  EXPECT_GE(done, lower_bound);
+}
+
+}  // namespace
+}  // namespace tbp::sim

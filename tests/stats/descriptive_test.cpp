@@ -1,0 +1,135 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace tbp::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanOfKnownValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(DescriptiveTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceOfKnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(DescriptiveTest, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs = {5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(DescriptiveTest, CoefficientOfVariation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 2.0 / 5.0);
+}
+
+TEST(DescriptiveTest, CovOfConstantIsZero) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(DescriptiveTest, CovOfAllZerosIsZero) {
+  const std::vector<double> xs = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(DescriptiveTest, GeometricMean) {
+  const std::vector<double> xs = {1.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
+}
+
+TEST(DescriptiveTest, GeometricMeanFloorsNonPositive) {
+  const std::vector<double> xs = {0.0, 4.0};
+  // 0 floored at 1e-6: sqrt(1e-6 * 4) = 2e-3
+  EXPECT_NEAR(geometric_mean(xs), 2e-3, 1e-9);
+}
+
+TEST(DescriptiveTest, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(DescriptiveTest, NormalizeByMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> out = normalize_by_mean(xs);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 1.5);
+}
+
+TEST(DescriptiveTest, NormalizeByZeroMeanYieldsZeros) {
+  const std::vector<double> xs = {-1.0, 1.0};
+  const std::vector<double> out = normalize_by_mean(xs);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+// Property: OnlineStats must agree with the batch formulas on random data.
+class OnlineStatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineStatsProperty, MatchesBatchComputation) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  OnlineStats online;
+  const std::size_t n = 10 + rng.below(500);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    xs.push_back(x);
+    online.add(x);
+  }
+  EXPECT_EQ(online.count(), xs.size());
+  EXPECT_NEAR(online.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(online.variance(), variance(xs), 1e-7);
+  EXPECT_DOUBLE_EQ(online.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(online.max(), max_value(xs));
+}
+
+TEST_P(OnlineStatsProperty, MergeEqualsConcatenation) {
+  Rng rng(GetParam() ^ 0xfeed);
+  OnlineStats left;
+  OnlineStats right;
+  std::vector<double> all;
+  const std::size_t n_left = rng.below(200);
+  const std::size_t n_right = 1 + rng.below(200);
+  for (std::size_t i = 0; i < n_left; ++i) {
+    const double x = rng.gaussian(10.0, 3.0);
+    left.add(x);
+    all.push_back(x);
+  }
+  for (std::size_t i = 0; i < n_right; ++i) {
+    const double x = rng.gaussian(-5.0, 7.0);
+    right.add(x);
+    all.push_back(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.size());
+  EXPECT_NEAR(left.mean(), mean(all), 1e-9);
+  EXPECT_NEAR(left.variance(), variance(all), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStatsProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace tbp::stats

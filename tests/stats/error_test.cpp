@@ -1,0 +1,46 @@
+#include "stats/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tbp::stats {
+namespace {
+
+TEST(ErrorTest, RelativeErrorBasics) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 10.0), 0.0);
+}
+
+TEST(ErrorTest, RelativeErrorNegativeReference) {
+  EXPECT_DOUBLE_EQ(relative_error(-9.0, -10.0), 0.1);
+}
+
+TEST(ErrorTest, ZeroReferenceZeroPrediction) {
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(ErrorTest, ZeroReferenceNonzeroPredictionIsInfinite) {
+  EXPECT_TRUE(std::isinf(relative_error(1.0, 0.0)));
+}
+
+TEST(ErrorTest, PercentScaling) {
+  EXPECT_DOUBLE_EQ(relative_error_pct(10.795, 10.0), 7.95);
+}
+
+TEST(ErrorTest, GeomeanOfEqualErrors) {
+  const std::vector<double> errors = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(geomean_error_pct(errors), 2.0, 1e-12);
+}
+
+TEST(ErrorTest, GeomeanFloorsZeros) {
+  // One perfect benchmark must not zero the aggregate.
+  const std::vector<double> errors = {0.0, 4.0};
+  EXPECT_GT(geomean_error_pct(errors), 0.0);
+  EXPECT_NEAR(geomean_error_pct(errors), std::sqrt(0.1 * 4.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace tbp::stats

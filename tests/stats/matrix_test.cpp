@@ -1,0 +1,61 @@
+#include "stats/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbp::stats {
+namespace {
+
+TEST(MatrixTest, LeftMultiplyIdentity) {
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0;
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.left_multiply(v), v);
+}
+
+TEST(MatrixTest, LeftMultiplyKnownValues) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 0.5;
+  m.at(0, 1) = 0.5;
+  m.at(1, 0) = 0.25;
+  m.at(1, 1) = 0.75;
+  const std::vector<double> v = {0.4, 0.6};
+  const std::vector<double> out = m.left_multiply(v);
+  EXPECT_NEAR(out[0], 0.4 * 0.5 + 0.6 * 0.25, 1e-15);
+  EXPECT_NEAR(out[1], 0.4 * 0.5 + 0.6 * 0.75, 1e-15);
+}
+
+TEST(MatrixTest, MultiplyMatchesRepeatedLeftMultiply) {
+  Matrix m(3, 3);
+  double v = 0.1;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m.at(i, j) = v;
+      v += 0.07;
+    }
+  }
+  const Matrix m2 = m.multiply(m);
+  const std::vector<double> x = {1.0, -1.0, 2.0};
+  const std::vector<double> a = m2.left_multiply(x);
+  const std::vector<double> b = m.left_multiply(m.left_multiply(x));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(MatrixTest, RowSumError) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 0.5;
+  m.at(0, 1) = 0.5;
+  m.at(1, 0) = 0.3;
+  m.at(1, 1) = 0.6;  // sums to 0.9
+  EXPECT_NEAR(m.max_row_sum_error(), 0.1, 1e-15);
+}
+
+TEST(MatrixTest, L1Distance) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {0.5, 3.5};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 2.0);
+}
+
+}  // namespace
+}  // namespace tbp::stats

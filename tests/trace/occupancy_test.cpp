@@ -1,0 +1,70 @@
+#include "trace/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace tbp::trace {
+namespace {
+
+SmResources fermi_resources() {
+  return SmResources{.max_threads = 1536,
+                     .max_blocks = 8,
+                     .registers = 32768,
+                     .shared_mem_bytes = 49152};
+}
+
+KernelInfo kernel_with(std::uint32_t threads, std::uint32_t regs,
+                       std::uint32_t smem) {
+  KernelInfo k = make_synthetic_kernel_info("occ");
+  k.threads_per_block = threads;
+  k.registers_per_thread = regs;
+  k.shared_mem_per_block = smem;
+  return k;
+}
+
+TEST(OccupancyTest, ThreadLimited) {
+  // 256-thread blocks, tiny registers/smem: 1536/256 = 6 blocks.
+  EXPECT_EQ(sm_occupancy(kernel_with(256, 4, 256), fermi_resources()), 6u);
+}
+
+TEST(OccupancyTest, BlockSlotLimited) {
+  // 64-thread blocks would allow 24 by threads; the 8-slot limit wins.
+  EXPECT_EQ(sm_occupancy(kernel_with(64, 4, 256), fermi_resources()), 8u);
+}
+
+TEST(OccupancyTest, RegisterLimited) {
+  // 256 threads * 40 regs = 10240 regs/block -> 32768/10240 = 3.
+  EXPECT_EQ(sm_occupancy(kernel_with(256, 40, 256), fermi_resources()), 3u);
+}
+
+TEST(OccupancyTest, SharedMemoryLimited) {
+  // 24 KB smem per block -> 49152/24576 = 2.
+  EXPECT_EQ(sm_occupancy(kernel_with(128, 4, 24576), fermi_resources()), 2u);
+}
+
+TEST(OccupancyTest, OversizedBlockYieldsZero) {
+  EXPECT_EQ(sm_occupancy(kernel_with(2048, 4, 0), fermi_resources()), 0u);
+}
+
+TEST(OccupancyTest, ZeroSharedMemDoesNotDivideByZero) {
+  EXPECT_EQ(sm_occupancy(kernel_with(256, 4, 0), fermi_resources()), 6u);
+}
+
+TEST(OccupancyTest, SystemOccupancyScalesWithSms) {
+  const KernelInfo k = kernel_with(256, 20, 4096);
+  const SmResources r = fermi_resources();
+  const std::uint32_t per_sm = sm_occupancy(k, r);
+  EXPECT_EQ(system_occupancy(k, r, 14), per_sm * 14);
+  EXPECT_EQ(system_occupancy(k, r, 1), per_sm);
+}
+
+TEST(OccupancyTest, PaperDefaultKernelGivesEpochSize84) {
+  // The Fermi Table V config with the default 256-thread synthetic kernel:
+  // 6 blocks/SM * 14 SMs = 84 — the epoch size used throughout the benches.
+  const KernelInfo k = kernel_with(256, 20, 4096);
+  EXPECT_EQ(system_occupancy(k, fermi_resources(), 14), 84u);
+}
+
+}  // namespace
+}  // namespace tbp::trace

@@ -1,0 +1,127 @@
+#include "trace/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace tbp::trace {
+namespace {
+
+KernelInfo tiny_kernel() {
+  KernelInfo k = make_synthetic_kernel_info("v");
+  k.threads_per_block = 64;  // 2 warps
+  return k;
+}
+
+WarpInst alu() {
+  return WarpInst{.op = Op::kIntAlu, .active_threads = 32, .bb_id = 0, .mem = {}};
+}
+WarpInst exit_inst() {
+  return WarpInst{.op = Op::kExit, .active_threads = 32, .bb_id = 7, .mem = {}};
+}
+WarpInst barrier() {
+  return WarpInst{.op = Op::kBarrier, .active_threads = 32, .bb_id = 1, .mem = {}};
+}
+
+BlockTrace good_trace() {
+  BlockTrace trace;
+  trace.warps = {{alu(), barrier(), exit_inst()}, {alu(), barrier(), exit_inst()}};
+  return trace;
+}
+
+TEST(ValidateTest, AcceptsWellFormedTrace) {
+  const ValidationReport report = validate_block_trace(tiny_kernel(), good_trace());
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ValidateTest, RejectsWarpCountMismatch) {
+  BlockTrace trace = good_trace();
+  trace.warps.pop_back();
+  EXPECT_FALSE(validate_block_trace(tiny_kernel(), trace).ok());
+}
+
+TEST(ValidateTest, RejectsEmptyStream) {
+  BlockTrace trace = good_trace();
+  trace.warps[1].clear();
+  EXPECT_FALSE(validate_block_trace(tiny_kernel(), trace).ok());
+}
+
+TEST(ValidateTest, RejectsMissingExit) {
+  BlockTrace trace = good_trace();
+  trace.warps[0].pop_back();
+  const ValidationReport report = validate_block_trace(tiny_kernel(), trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("kExit"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsInstructionAfterExit) {
+  BlockTrace trace = good_trace();
+  trace.warps[0].push_back(alu());
+  EXPECT_FALSE(validate_block_trace(tiny_kernel(), trace).ok());
+}
+
+TEST(ValidateTest, RejectsZeroActiveThreads) {
+  BlockTrace trace = good_trace();
+  trace.warps[0][0].active_threads = 0;
+  EXPECT_FALSE(validate_block_trace(tiny_kernel(), trace).ok());
+}
+
+TEST(ValidateTest, RejectsBadFootprint) {
+  BlockTrace trace = good_trace();
+  WarpInst load{.op = Op::kLoadGlobal,
+                .active_threads = 32,
+                .bb_id = 2,
+                .mem = {.base_line = 0, .line_stride = 0, .n_lines = 1}};
+  trace.warps[0].insert(trace.warps[0].begin(), load);
+  trace.warps[1].insert(trace.warps[1].begin(), alu());
+  EXPECT_FALSE(validate_block_trace(tiny_kernel(), trace).ok());
+}
+
+TEST(ValidateTest, RejectsBbIdOutOfRange) {
+  BlockTrace trace = good_trace();
+  trace.warps[0][0].bb_id = 200;
+  EXPECT_FALSE(validate_block_trace(tiny_kernel(), trace).ok());
+}
+
+TEST(ValidateTest, RejectsBarrierMismatchAcrossWarps) {
+  BlockTrace trace = good_trace();
+  // Warp 0 executes two barriers, warp 1 only one: a guaranteed deadlock.
+  trace.warps[0].insert(trace.warps[0].begin(), barrier());
+  trace.warps[1].insert(trace.warps[1].begin(), alu());
+  const ValidationReport report = validate_block_trace(tiny_kernel(), trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("barrier"), std::string::npos);
+}
+
+TEST(ValidateTest, GeneratorOutputIsAlwaysValid) {
+  trace::BlockBehavior b;
+  b.loop_iterations = 5;
+  b.branch_divergence = 0.4;
+  b.barrier_per_iteration = true;
+  b.shared_per_iteration = 1;
+  b.lines_per_access = 8;
+  b.pattern = AddressPattern::kRandom;
+  b.working_set_lines = 512;
+  const SyntheticLaunch launch(make_synthetic_kernel_info("gen"), 20, 99,
+                               [b](std::uint32_t) { return b; });
+  const ValidationReport report = validate_launch(launch);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ValidateTest, IssueLimitBoundsWork) {
+  // A launch full of bad blocks stops at the issue cap.
+  struct Bad final : LaunchTraceSource {
+    KernelInfo info = make_synthetic_kernel_info("bad");
+    [[nodiscard]] const KernelInfo& kernel() const override { return info; }
+    [[nodiscard]] std::uint32_t n_blocks() const override { return 1000; }
+    [[nodiscard]] BlockTrace block_trace(std::uint32_t) const override {
+      return BlockTrace{};  // zero warps: invalid
+    }
+  };
+  const Bad bad;
+  const ValidationReport report = validate_launch(bad, 5);
+  EXPECT_EQ(report.issues.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tbp::trace

@@ -1,0 +1,187 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "profile/profiler.hpp"
+
+namespace tbp::workloads {
+namespace {
+
+WorkloadScale tiny_scale() {
+  // Large divisor keeps these structural tests fast; small benchmarks are
+  // protected by their own minimums.
+  return WorkloadScale{.divisor = 16, .seed = 0x7b90147};
+}
+
+TEST(WorkloadTest, RegistryHasTwelveBenchmarks) {
+  EXPECT_EQ(workload_names().size(), 12u);
+  const std::set<std::string> names(workload_names().begin(),
+                                    workload_names().end());
+  for (const char* expected :
+       {"bfs", "sssp", "mst", "mri", "spmv", "lbm", "cfd", "kmeans", "hotspot",
+        "stream", "black", "conv"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryWorkload, BuildsWithConsistentStructure) {
+  const Workload w = make_workload(GetParam(), tiny_scale());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_FALSE(w.launches.empty());
+  EXPECT_GT(w.total_blocks(), 0u);
+  for (const auto& launch : w.launches) {
+    EXPECT_GT(launch->n_blocks(), 0u);
+    EXPECT_EQ(launch->kernel().n_basic_blocks, trace::kNumBasicBlocks);
+  }
+  EXPECT_EQ(w.sources().size(), w.launches.size());
+}
+
+TEST_P(EveryWorkload, DeterministicForSameSeed) {
+  const Workload a = make_workload(GetParam(), tiny_scale());
+  const Workload b = make_workload(GetParam(), tiny_scale());
+  ASSERT_EQ(a.launches.size(), b.launches.size());
+  for (std::size_t l = 0; l < a.launches.size(); ++l) {
+    ASSERT_EQ(a.launches[l]->n_blocks(), b.launches[l]->n_blocks());
+    const profile::LaunchProfile pa = profile::profile_launch(*a.launches[l]);
+    const profile::LaunchProfile pb = profile::profile_launch(*b.launches[l]);
+    EXPECT_EQ(pa.total_warp_insts(), pb.total_warp_insts());
+    EXPECT_EQ(pa.total_mem_requests(), pb.total_mem_requests());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EveryWorkload,
+                         ::testing::ValuesIn(workload_names()));
+
+TEST(WorkloadTest, TableVITypeAssignments) {
+  const std::set<std::string> irregular = {"bfs", "sssp", "mst", "mri", "spmv"};
+  for (const std::string& name : workload_names()) {
+    const Workload w = make_workload(name, tiny_scale());
+    EXPECT_EQ(w.irregular(), irregular.contains(name)) << name;
+  }
+}
+
+TEST(WorkloadTest, TableVILaunchCounts) {
+  // Counts the paper states or the prose implies.
+  EXPECT_EQ(make_workload("sssp", tiny_scale()).launches.size(), 49u);
+  EXPECT_EQ(make_workload("spmv", tiny_scale()).launches.size(), 50u);
+  EXPECT_EQ(make_workload("cfd", tiny_scale()).launches.size(), 100u);
+  EXPECT_EQ(make_workload("kmeans", tiny_scale()).launches.size(), 30u);
+  EXPECT_EQ(make_workload("hotspot", tiny_scale()).launches.size(), 1u);
+  EXPECT_GE(make_workload("stream", tiny_scale()).launches.size(), 200u);
+}
+
+TEST(WorkloadTest, SmallBenchmarksAreNeverScaled) {
+  const WorkloadScale huge{.divisor = 64, .seed = 1};
+  EXPECT_EQ(make_workload("hotspot", huge).total_blocks(), 1849u);
+  EXPECT_EQ(make_workload("mst", huge).total_blocks(),
+            make_workload("mst", WorkloadScale{.divisor = 1, .seed = 1})
+                .total_blocks());
+}
+
+TEST(WorkloadTest, ScaleDivisorShrinksLargeBenchmarks) {
+  const std::uint64_t big =
+      make_workload("conv", WorkloadScale{.divisor = 4, .seed = 1}).total_blocks();
+  const std::uint64_t small =
+      make_workload("conv", WorkloadScale{.divisor = 16, .seed = 1}).total_blocks();
+  EXPECT_GT(big, small * 3);
+}
+
+TEST(WorkloadTest, SpmvLaunchesAreIdentical) {
+  const Workload w = make_workload("spmv", tiny_scale());
+  const profile::LaunchProfile first = profile::profile_launch(*w.launches[0]);
+  for (std::size_t l = 1; l < w.launches.size(); ++l) {
+    const profile::LaunchProfile p = profile::profile_launch(*w.launches[l]);
+    EXPECT_EQ(p.total_warp_insts(), first.total_warp_insts());
+    EXPECT_EQ(p.total_mem_requests(), first.total_mem_requests());
+    EXPECT_EQ(p.total_thread_insts(), first.total_thread_insts());
+  }
+}
+
+TEST(WorkloadTest, BfsLaunchSizesFollowFrontierCurve) {
+  const Workload w = make_workload("bfs", tiny_scale());
+  // Middle launches are larger than the first and last.
+  const std::uint32_t first = w.launches.front()->n_blocks();
+  const std::uint32_t last = w.launches.back()->n_blocks();
+  std::uint32_t peak = 0;
+  for (const auto& l : w.launches) peak = std::max(peak, l->n_blocks());
+  EXPECT_GT(peak, first * 5);
+  EXPECT_GT(peak, last * 5);
+}
+
+TEST(WorkloadTest, MstHasInstructionOutlierBlocks) {
+  const Workload w = make_workload("mst", tiny_scale());
+  const profile::LaunchProfile p = profile::profile_launch(*w.launches[0]);
+  std::uint64_t min_insts = ~0ull;
+  std::uint64_t max_insts = 0;
+  for (const auto& b : p.blocks) {
+    min_insts = std::min(min_insts, b.warp_insts);
+    max_insts = std::max(max_insts, b.warp_insts);
+  }
+  EXPECT_GT(max_insts, min_insts * 5) << "mst needs giant outlier blocks";
+}
+
+TEST(WorkloadTest, HotspotHasPeriodicBorderPattern) {
+  const Workload w = make_workload("hotspot", tiny_scale());
+  const profile::LaunchProfile p = profile::profile_launch(*w.launches[0]);
+  // Block 0 (border) does less work than block 44 (interior of row 1).
+  EXPECT_LT(p.blocks[0].warp_insts, p.blocks[44].warp_insts);
+  // The pattern repeats with the grid width (43).
+  EXPECT_EQ(p.blocks[0].warp_insts, p.blocks[42].warp_insts);
+  EXPECT_EQ(p.blocks[44].warp_insts, p.blocks[44 + 43].warp_insts);
+}
+
+TEST(WorkloadTest, RegularKernelsHaveLowBlockSizeCov) {
+  for (const char* name : {"lbm", "cfd", "kmeans", "black", "conv"}) {
+    const Workload w = make_workload(name, tiny_scale());
+    const profile::LaunchProfile p = profile::profile_launch(*w.launches[0]);
+    EXPECT_LT(p.block_size_cov(), 0.1) << name;
+  }
+}
+
+TEST(WorkloadTest, IrregularKernelsHaveHigherBlockSizeCovThanRegular) {
+  const Workload irregular = make_workload("mst", tiny_scale());
+  const Workload regular = make_workload("cfd", tiny_scale());
+  EXPECT_GT(
+      profile::profile_launch(*irregular.launches[0]).block_size_cov(),
+      profile::profile_launch(*regular.launches[0]).block_size_cov());
+}
+
+TEST(WorkloadTest, MakeAllBuildsTwelve) {
+  const std::vector<Workload> all = make_all_workloads(tiny_scale());
+  EXPECT_EQ(all.size(), 12u);
+}
+
+TEST(WorkloadTest, BinomialIsOptInSingleLaunch) {
+  // The Fig. 11 companion benchmark: registered by name but not part of
+  // the default Table VI twelve.
+  const auto& names = workload_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "binomial"), 0);
+  const Workload w = make_workload("binomial", tiny_scale());
+  EXPECT_EQ(w.launches.size(), 1u);  // like hotspot: intra-only savings
+  EXPECT_EQ(w.type, KernelType::kRegular);
+  const profile::LaunchProfile p = profile::profile_launch(*w.launches[0]);
+  EXPECT_LT(p.block_size_cov(), 0.05);
+}
+
+TEST(WorkloadTest, SolverWorkloadLaunchesAreNearIdentical) {
+  // Regular solver-style workloads reuse one behaviour table; launches
+  // differ only through trace-level randomness (per-launch divergence
+  // rolls), so their aggregate statistics agree within a fraction of a
+  // percent and inter-launch clustering collapses them.
+  for (const char* name : {"cfd", "kmeans", "lbm", "black", "conv", "stream"}) {
+    const Workload w = make_workload(name, tiny_scale());
+    const profile::LaunchProfile first = profile::profile_launch(*w.launches[0]);
+    const profile::LaunchProfile last =
+        profile::profile_launch(*w.launches.back());
+    const auto a = static_cast<double>(first.total_warp_insts());
+    const auto b = static_cast<double>(last.total_warp_insts());
+    EXPECT_NEAR(a, b, 0.02 * a) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tbp::workloads

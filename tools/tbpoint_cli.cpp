@@ -1,0 +1,238 @@
+// tbpoint_cli — the library as a command-line workflow.
+//
+//   tbpoint_cli list
+//       Available benchmark models.
+//   tbpoint_cli profile  <workload> -o profile.txt [--scale N] [--seed S]
+//       One-time functional profiling; writes the profile artifact.
+//   tbpoint_cli regions  <profile.txt> --occupancy N [-o regions.txt]
+//       Homogeneous-region identification from a saved profile (re-run per
+//       hardware configuration; this is the cheap re-clustering step).
+//   tbpoint_cli run      <workload> [--scale N] [--sms S] [--warps W]
+//                        [--inter-sigma X] [--intra-sigma X] [--vf X]
+//                        [--no-inter] [--no-intra] [--gto]
+//       Full TBPoint pipeline; prints predicted IPC and sample size.
+//   tbpoint_cli compare  <workload> [--scale N] [--sms S] [--warps W]
+//       Four-way Full / Random / Ideal-SimPoint / TBPoint comparison.
+//   tbpoint_cli lemma41  [--p X] [--m X] [--warps N] [--samples N]
+//       Markov-chain Monte-Carlo check of the paper's Lemma 4.1.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/ideal_simpoint.hpp"
+#include "baselines/random_sampling.hpp"
+#include "core/region_io.hpp"
+#include "core/tbpoint.hpp"
+#include "harness/cli.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "markov/monte_carlo.hpp"
+#include "profile/profile_io.hpp"
+#include "profile/profiler.hpp"
+#include "sim/gpu.hpp"
+#include "stats/error.hpp"
+#include "trace/occupancy.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tbp;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: tbpoint_cli <list|profile|regions|run|compare|lemma41> "
+               "[args...]\n(see the header of tools/tbpoint_cli.cpp)\n");
+  std::exit(2);
+}
+
+double flag_double(int argc, char** argv, const std::string& name, double fb) {
+  const std::string v = harness::flag_value(argc, argv, name, "");
+  return v.empty() ? fb : std::atof(v.c_str());
+}
+
+std::uint32_t flag_u32(int argc, char** argv, const std::string& name,
+                       std::uint32_t fb) {
+  const std::string v = harness::flag_value(argc, argv, name, "");
+  return v.empty() ? fb : static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+}
+
+workloads::WorkloadScale scale_from_flags(int argc, char** argv) {
+  workloads::WorkloadScale scale;
+  scale.divisor = flag_u32(argc, argv, "--scale", 4);
+  scale.seed = std::strtoull(
+      harness::flag_value(argc, argv, "--seed", "0x7b90147").c_str(), nullptr, 0);
+  return scale;
+}
+
+sim::GpuConfig config_from_flags(int argc, char** argv) {
+  const std::uint32_t sms = flag_u32(argc, argv, "--sms", 14);
+  const std::uint32_t warps = flag_u32(argc, argv, "--warps", 48);
+  sim::GpuConfig config = (sms == 14 && warps == 48)
+                              ? sim::fermi_config()
+                              : sim::scaled_config(warps, sms);
+  if (harness::has_flag(argc, argv, "--gto")) {
+    config.scheduler = sim::WarpScheduler::kGreedyThenOldest;
+  }
+  return config;
+}
+
+int cmd_list() {
+  for (const std::string& name : workloads::workload_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  std::printf("binomial (Fig. 11 companion, opt-in)\n");
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string out_path = harness::flag_value(argc, argv, "-o", "profile.txt");
+  const workloads::Workload workload =
+      workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+
+  profile::ApplicationProfile app;
+  for (const auto* source : workload.sources()) {
+    app.launches.push_back(profile::profile_launch(*source));
+  }
+  if (!profile::save_profile_file(app, out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("profiled %zu launches / %llu blocks / %llu warp insts -> %s\n",
+              app.launches.size(),
+              static_cast<unsigned long long>(app.total_blocks()),
+              static_cast<unsigned long long>(app.total_warp_insts()),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_regions(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::uint32_t occupancy = flag_u32(argc, argv, "--occupancy", 0);
+  if (occupancy == 0) {
+    std::fprintf(stderr, "regions: --occupancy N is required\n");
+    return 2;
+  }
+  const auto app = profile::load_profile_file(argv[2]);
+  if (!app) {
+    std::fprintf(stderr, "cannot read profile %s\n", argv[2]);
+    return 1;
+  }
+
+  core::IntraLaunchOptions options;
+  options.distance_threshold = flag_double(argc, argv, "--intra-sigma", 0.2);
+  options.variation_factor_threshold = flag_double(argc, argv, "--vf", 0.3);
+
+  core::RegionTableSet set;
+  set.system_occupancy = occupancy;
+  std::size_t total_regions = 0;
+  for (const profile::LaunchProfile& launch : app->launches) {
+    core::RegionIdentification id =
+        core::identify_regions(launch, occupancy, options);
+    total_regions += id.table.regions().size();
+    set.tables.push_back(std::move(id.table));
+  }
+  const std::string out_path = harness::flag_value(argc, argv, "-o", "regions.txt");
+  if (!core::save_region_tables_file(set, out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("identified %zu homogeneous regions across %zu launches -> %s\n",
+              total_regions, set.tables.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) usage();
+  const workloads::Workload workload =
+      workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+  const sim::GpuConfig config = config_from_flags(argc, argv);
+
+  profile::ApplicationProfile app;
+  for (const auto* source : workload.sources()) {
+    app.launches.push_back(profile::profile_launch(*source));
+  }
+
+  core::TBPointOptions options;
+  options.inter.distance_threshold = flag_double(argc, argv, "--inter-sigma", 0.1);
+  options.intra.distance_threshold = flag_double(argc, argv, "--intra-sigma", 0.2);
+  options.intra.variation_factor_threshold = flag_double(argc, argv, "--vf", 0.3);
+  options.enable_inter = !harness::has_flag(argc, argv, "--no-inter");
+  options.enable_intra = !harness::has_flag(argc, argv, "--no-intra");
+  options.inter.include_bbv = harness::has_flag(argc, argv, "--bbv");
+
+  const core::TBPointRun run =
+      core::run_tbpoint(workload.sources(), app, config, options);
+  std::printf("%s: %zu launch clusters, %zu representatives\n",
+              workload.name.c_str(), run.inter.clusters.size(), run.reps.size());
+  for (const core::RepresentativeRun& rep : run.reps) {
+    std::printf("  launch %zu: %zu regions, sample %.1f%%, predicted IPC %.3f\n",
+                rep.launch_index, rep.regions.table.regions().size(),
+                100.0 * rep.prediction.sample_fraction(),
+                rep.prediction.predicted_ipc);
+  }
+  std::printf("application: predicted IPC %.4f, total sample %.2f%% "
+              "(inter skips %.1f%%, intra skips %.1f%% of skipped insts)\n",
+              run.app.predicted_ipc, 100.0 * run.app.sample_fraction(),
+              100.0 * run.app.inter_skip_share(),
+              100.0 * (1.0 - run.app.inter_skip_share()));
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 3) usage();
+  const workloads::Workload workload =
+      workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+  const harness::ExperimentRow row =
+      harness::run_comparison(workload, config_from_flags(argc, argv));
+
+  harness::TablePrinter table({"method", "IPC", "error%", "sample%"});
+  table.add_row({"Full", harness::fmt(row.full_ipc, 4), "-", "100"});
+  table.add_row({"Random", harness::fmt(row.random.ipc, 4),
+                 harness::fmt(row.random.err_pct, 2),
+                 harness::fmt(row.random.sample_pct, 2)});
+  table.add_row({"Systematic", harness::fmt(row.systematic.ipc, 4),
+                 harness::fmt(row.systematic.err_pct, 2),
+                 harness::fmt(row.systematic.sample_pct, 2)});
+  table.add_row({"Ideal-SimPoint", harness::fmt(row.simpoint.ipc, 4),
+                 harness::fmt(row.simpoint.err_pct, 2),
+                 harness::fmt(row.simpoint.sample_pct, 2)});
+  table.add_row({"TBPoint", harness::fmt(row.tbpoint.ipc, 4),
+                 harness::fmt(row.tbpoint.err_pct, 2),
+                 harness::fmt(row.tbpoint.sample_pct, 2)});
+  table.print();
+  std::printf("full sim %.2fs; TBPoint %.2fs\n", row.full_sim_seconds,
+              row.tbp_seconds);
+  return 0;
+}
+
+int cmd_lemma41(int argc, char** argv) {
+  markov::MonteCarloConfig config;
+  config.stall_probability = flag_double(argc, argv, "--p", 0.1);
+  config.mean_stall_cycles = flag_double(argc, argv, "--m", 400.0);
+  config.n_warps = flag_u32(argc, argv, "--warps", 4);
+  config.n_samples = flag_u32(argc, argv, "--samples", 10000);
+  const markov::MonteCarloResult result = markov::run_ipc_variation(config);
+  std::printf("p=%.3f M=%.0f N=%zu: mean IPC %.4f, %.1f%% of samples within "
+              "10%% of mean -> Lemma 4.1 %s\n",
+              config.stall_probability, config.mean_stall_cycles, config.n_warps,
+              result.mean_ipc, 100.0 * result.fraction_within_10pct,
+              markov::satisfies_lemma_4_1(result) ? "holds" : "VIOLATED");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  if (command == "list") return cmd_list();
+  if (command == "profile") return cmd_profile(argc, argv);
+  if (command == "regions") return cmd_regions(argc, argv);
+  if (command == "run") return cmd_run(argc, argv);
+  if (command == "compare") return cmd_compare(argc, argv);
+  if (command == "lemma41") return cmd_lemma41(argc, argv);
+  usage();
+}
