@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_thresholds"
+  "../bench/ablation_thresholds.pdb"
+  "CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cpp.o"
+  "CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

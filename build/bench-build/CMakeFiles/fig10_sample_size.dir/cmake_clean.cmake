@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sample_size"
+  "../bench/fig10_sample_size.pdb"
+  "CMakeFiles/fig10_sample_size.dir/fig10_sample_size.cpp.o"
+  "CMakeFiles/fig10_sample_size.dir/fig10_sample_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sample_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_skip_breakdown"
+  "../bench/fig11_skip_breakdown.pdb"
+  "CMakeFiles/fig11_skip_breakdown.dir/fig11_skip_breakdown.cpp.o"
+  "CMakeFiles/fig11_skip_breakdown.dir/fig11_skip_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_skip_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_hw_sensitivity_error"
+  "../bench/fig12_hw_sensitivity_error.pdb"
+  "CMakeFiles/fig12_hw_sensitivity_error.dir/fig12_hw_sensitivity_error.cpp.o"
+  "CMakeFiles/fig12_hw_sensitivity_error.dir/fig12_hw_sensitivity_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hw_sensitivity_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_hw_sensitivity_size"
+  "../bench/fig13_hw_sensitivity_size.pdb"
+  "CMakeFiles/fig13_hw_sensitivity_size.dir/fig13_hw_sensitivity_size.cpp.o"
+  "CMakeFiles/fig13_hw_sensitivity_size.dir/fig13_hw_sensitivity_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hw_sensitivity_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ipc_variation"
+  "../bench/fig5_ipc_variation.pdb"
+  "CMakeFiles/fig5_ipc_variation.dir/fig5_ipc_variation.cpp.o"
+  "CMakeFiles/fig5_ipc_variation.dir/fig5_ipc_variation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ipc_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_ipc_variation.
+# This may be replaced when dependencies are built.

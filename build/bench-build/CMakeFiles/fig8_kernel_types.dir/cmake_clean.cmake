@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_kernel_types"
+  "../bench/fig8_kernel_types.pdb"
+  "CMakeFiles/fig8_kernel_types.dir/fig8_kernel_types.cpp.o"
+  "CMakeFiles/fig8_kernel_types.dir/fig8_kernel_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_kernel_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_overall_ipc"
+  "../bench/fig9_overall_ipc.pdb"
+  "CMakeFiles/fig9_overall_ipc.dir/fig9_overall_ipc.cpp.o"
+  "CMakeFiles/fig9_overall_ipc.dir/fig9_overall_ipc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_overall_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_cluster"
+  "../bench/micro_cluster.pdb"
+  "CMakeFiles/micro_cluster.dir/micro_cluster.cpp.o"
+  "CMakeFiles/micro_cluster.dir/micro_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sim"
+  "../bench/micro_sim.pdb"
+  "CMakeFiles/micro_sim.dir/micro_sim.cpp.o"
+  "CMakeFiles/micro_sim.dir/micro_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_analytical"
+  "../bench/related_analytical.pdb"
+  "CMakeFiles/related_analytical.dir/related_analytical.cpp.o"
+  "CMakeFiles/related_analytical.dir/related_analytical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_systematic"
+  "../bench/related_systematic.pdb"
+  "CMakeFiles/related_systematic.dir/related_systematic.cpp.o"
+  "CMakeFiles/related_systematic.dir/related_systematic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_systematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

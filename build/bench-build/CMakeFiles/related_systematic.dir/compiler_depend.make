@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for related_systematic.
+# This may be replaced when dependencies are built.

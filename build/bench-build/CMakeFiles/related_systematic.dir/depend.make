@@ -1,0 +1,2 @@
+# Empty dependencies file for related_systematic.
+# This may be replaced when dependencies are built.

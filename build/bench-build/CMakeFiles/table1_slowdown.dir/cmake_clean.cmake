@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_slowdown"
+  "../bench/table1_slowdown.pdb"
+  "CMakeFiles/table1_slowdown.dir/table1_slowdown.cpp.o"
+  "CMakeFiles/table1_slowdown.dir/table1_slowdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

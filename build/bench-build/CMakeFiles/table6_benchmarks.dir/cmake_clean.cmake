@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_benchmarks"
+  "../bench/table6_benchmarks.pdb"
+  "CMakeFiles/table6_benchmarks.dir/table6_benchmarks.cpp.o"
+  "CMakeFiles/table6_benchmarks.dir/table6_benchmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

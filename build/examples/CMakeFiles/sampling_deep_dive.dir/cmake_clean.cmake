@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_deep_dive.dir/sampling_deep_dive.cpp.o"
+  "CMakeFiles/sampling_deep_dive.dir/sampling_deep_dive.cpp.o.d"
+  "sampling_deep_dive"
+  "sampling_deep_dive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_deep_dive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("cluster")
+subdirs("markov")
+subdirs("trace")
+subdirs("profile")
+subdirs("sim")
+subdirs("core")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("analytical")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_analytical.dir/mwp_cwp.cpp.o"
+  "CMakeFiles/tbp_analytical.dir/mwp_cwp.cpp.o.d"
+  "libtbp_analytical.a"
+  "libtbp_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

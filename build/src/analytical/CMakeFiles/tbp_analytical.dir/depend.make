@@ -1,0 +1,2 @@
+# Empty dependencies file for tbp_analytical.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ideal_simpoint.cpp" "src/baselines/CMakeFiles/tbp_baselines.dir/ideal_simpoint.cpp.o" "gcc" "src/baselines/CMakeFiles/tbp_baselines.dir/ideal_simpoint.cpp.o.d"
+  "/root/repo/src/baselines/random_sampling.cpp" "src/baselines/CMakeFiles/tbp_baselines.dir/random_sampling.cpp.o" "gcc" "src/baselines/CMakeFiles/tbp_baselines.dir/random_sampling.cpp.o.d"
+  "/root/repo/src/baselines/systematic_sampling.cpp" "src/baselines/CMakeFiles/tbp_baselines.dir/systematic_sampling.cpp.o" "gcc" "src/baselines/CMakeFiles/tbp_baselines.dir/systematic_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tbp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

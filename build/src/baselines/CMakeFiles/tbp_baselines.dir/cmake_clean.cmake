@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_baselines.dir/ideal_simpoint.cpp.o"
+  "CMakeFiles/tbp_baselines.dir/ideal_simpoint.cpp.o.d"
+  "CMakeFiles/tbp_baselines.dir/random_sampling.cpp.o"
+  "CMakeFiles/tbp_baselines.dir/random_sampling.cpp.o.d"
+  "CMakeFiles/tbp_baselines.dir/systematic_sampling.cpp.o"
+  "CMakeFiles/tbp_baselines.dir/systematic_sampling.cpp.o.d"
+  "libtbp_baselines.a"
+  "libtbp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

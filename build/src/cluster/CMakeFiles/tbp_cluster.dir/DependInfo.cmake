@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/feature.cpp" "src/cluster/CMakeFiles/tbp_cluster.dir/feature.cpp.o" "gcc" "src/cluster/CMakeFiles/tbp_cluster.dir/feature.cpp.o.d"
+  "/root/repo/src/cluster/hierarchical.cpp" "src/cluster/CMakeFiles/tbp_cluster.dir/hierarchical.cpp.o" "gcc" "src/cluster/CMakeFiles/tbp_cluster.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/tbp_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/tbp_cluster.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_cluster.dir/feature.cpp.o"
+  "CMakeFiles/tbp_cluster.dir/feature.cpp.o.d"
+  "CMakeFiles/tbp_cluster.dir/hierarchical.cpp.o"
+  "CMakeFiles/tbp_cluster.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/tbp_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/tbp_cluster.dir/kmeans.cpp.o.d"
+  "libtbp_cluster.a"
+  "libtbp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

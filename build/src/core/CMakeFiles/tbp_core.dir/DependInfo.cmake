@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/epoch.cpp" "src/core/CMakeFiles/tbp_core.dir/epoch.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/epoch.cpp.o.d"
+  "/root/repo/src/core/inter_launch.cpp" "src/core/CMakeFiles/tbp_core.dir/inter_launch.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/inter_launch.cpp.o.d"
+  "/root/repo/src/core/reconstruction.cpp" "src/core/CMakeFiles/tbp_core.dir/reconstruction.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/reconstruction.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/core/CMakeFiles/tbp_core.dir/region.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/region.cpp.o.d"
+  "/root/repo/src/core/region_io.cpp" "src/core/CMakeFiles/tbp_core.dir/region_io.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/region_io.cpp.o.d"
+  "/root/repo/src/core/region_sampler.cpp" "src/core/CMakeFiles/tbp_core.dir/region_sampler.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/region_sampler.cpp.o.d"
+  "/root/repo/src/core/tbpoint.cpp" "src/core/CMakeFiles/tbp_core.dir/tbpoint.cpp.o" "gcc" "src/core/CMakeFiles/tbp_core.dir/tbpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/tbp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tbp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_core.dir/epoch.cpp.o"
+  "CMakeFiles/tbp_core.dir/epoch.cpp.o.d"
+  "CMakeFiles/tbp_core.dir/inter_launch.cpp.o"
+  "CMakeFiles/tbp_core.dir/inter_launch.cpp.o.d"
+  "CMakeFiles/tbp_core.dir/reconstruction.cpp.o"
+  "CMakeFiles/tbp_core.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/tbp_core.dir/region.cpp.o"
+  "CMakeFiles/tbp_core.dir/region.cpp.o.d"
+  "CMakeFiles/tbp_core.dir/region_io.cpp.o"
+  "CMakeFiles/tbp_core.dir/region_io.cpp.o.d"
+  "CMakeFiles/tbp_core.dir/region_sampler.cpp.o"
+  "CMakeFiles/tbp_core.dir/region_sampler.cpp.o.d"
+  "CMakeFiles/tbp_core.dir/tbpoint.cpp.o"
+  "CMakeFiles/tbp_core.dir/tbpoint.cpp.o.d"
+  "libtbp_core.a"
+  "libtbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/cache.cpp" "src/harness/CMakeFiles/tbp_harness.dir/cache.cpp.o" "gcc" "src/harness/CMakeFiles/tbp_harness.dir/cache.cpp.o.d"
+  "/root/repo/src/harness/cli.cpp" "src/harness/CMakeFiles/tbp_harness.dir/cli.cpp.o" "gcc" "src/harness/CMakeFiles/tbp_harness.dir/cli.cpp.o.d"
+  "/root/repo/src/harness/csv.cpp" "src/harness/CMakeFiles/tbp_harness.dir/csv.cpp.o" "gcc" "src/harness/CMakeFiles/tbp_harness.dir/csv.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/tbp_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/tbp_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/harness/CMakeFiles/tbp_harness.dir/table.cpp.o" "gcc" "src/harness/CMakeFiles/tbp_harness.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tbp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tbp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/tbp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tbp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

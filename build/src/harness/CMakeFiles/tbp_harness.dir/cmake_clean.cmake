@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_harness.dir/cache.cpp.o"
+  "CMakeFiles/tbp_harness.dir/cache.cpp.o.d"
+  "CMakeFiles/tbp_harness.dir/cli.cpp.o"
+  "CMakeFiles/tbp_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/tbp_harness.dir/csv.cpp.o"
+  "CMakeFiles/tbp_harness.dir/csv.cpp.o.d"
+  "CMakeFiles/tbp_harness.dir/experiment.cpp.o"
+  "CMakeFiles/tbp_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/tbp_harness.dir/table.cpp.o"
+  "CMakeFiles/tbp_harness.dir/table.cpp.o.d"
+  "libtbp_harness.a"
+  "libtbp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/constant_latency.cpp" "src/markov/CMakeFiles/tbp_markov.dir/constant_latency.cpp.o" "gcc" "src/markov/CMakeFiles/tbp_markov.dir/constant_latency.cpp.o.d"
+  "/root/repo/src/markov/monte_carlo.cpp" "src/markov/CMakeFiles/tbp_markov.dir/monte_carlo.cpp.o" "gcc" "src/markov/CMakeFiles/tbp_markov.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/markov/warp_chain.cpp" "src/markov/CMakeFiles/tbp_markov.dir/warp_chain.cpp.o" "gcc" "src/markov/CMakeFiles/tbp_markov.dir/warp_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

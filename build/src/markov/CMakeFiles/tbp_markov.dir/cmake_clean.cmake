@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_markov.dir/constant_latency.cpp.o"
+  "CMakeFiles/tbp_markov.dir/constant_latency.cpp.o.d"
+  "CMakeFiles/tbp_markov.dir/monte_carlo.cpp.o"
+  "CMakeFiles/tbp_markov.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/tbp_markov.dir/warp_chain.cpp.o"
+  "CMakeFiles/tbp_markov.dir/warp_chain.cpp.o.d"
+  "libtbp_markov.a"
+  "libtbp_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbp_markov.
+# This may be replaced when dependencies are built.

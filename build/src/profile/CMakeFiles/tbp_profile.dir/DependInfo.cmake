@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/profile_io.cpp" "src/profile/CMakeFiles/tbp_profile.dir/profile_io.cpp.o" "gcc" "src/profile/CMakeFiles/tbp_profile.dir/profile_io.cpp.o.d"
+  "/root/repo/src/profile/profiler.cpp" "src/profile/CMakeFiles/tbp_profile.dir/profiler.cpp.o" "gcc" "src/profile/CMakeFiles/tbp_profile.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_profile.dir/profile_io.cpp.o"
+  "CMakeFiles/tbp_profile.dir/profile_io.cpp.o.d"
+  "CMakeFiles/tbp_profile.dir/profiler.cpp.o"
+  "CMakeFiles/tbp_profile.dir/profiler.cpp.o.d"
+  "libtbp_profile.a"
+  "libtbp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtbp_profile.a"
+)

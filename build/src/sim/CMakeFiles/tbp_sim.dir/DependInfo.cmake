@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/tbp_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/tbp_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/tbp_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/tbp_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/tbp_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/tbp_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/tbp_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/tbp_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/tbp_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/tbp_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/sm.cpp" "src/sim/CMakeFiles/tbp_sim.dir/sm.cpp.o" "gcc" "src/sim/CMakeFiles/tbp_sim.dir/sm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

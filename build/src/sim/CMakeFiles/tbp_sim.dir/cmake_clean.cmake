@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_sim.dir/cache.cpp.o"
+  "CMakeFiles/tbp_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/tbp_sim.dir/config.cpp.o"
+  "CMakeFiles/tbp_sim.dir/config.cpp.o.d"
+  "CMakeFiles/tbp_sim.dir/dram.cpp.o"
+  "CMakeFiles/tbp_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/tbp_sim.dir/gpu.cpp.o"
+  "CMakeFiles/tbp_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/tbp_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/tbp_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/tbp_sim.dir/sm.cpp.o"
+  "CMakeFiles/tbp_sim.dir/sm.cpp.o.d"
+  "libtbp_sim.a"
+  "libtbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

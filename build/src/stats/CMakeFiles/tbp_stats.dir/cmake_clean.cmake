@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tbp_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tbp_stats.dir/error.cpp.o"
+  "CMakeFiles/tbp_stats.dir/error.cpp.o.d"
+  "CMakeFiles/tbp_stats.dir/matrix.cpp.o"
+  "CMakeFiles/tbp_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/tbp_stats.dir/rng.cpp.o"
+  "CMakeFiles/tbp_stats.dir/rng.cpp.o.d"
+  "libtbp_stats.a"
+  "libtbp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/tbp_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/tbp_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/kernel.cpp" "src/trace/CMakeFiles/tbp_trace.dir/kernel.cpp.o" "gcc" "src/trace/CMakeFiles/tbp_trace.dir/kernel.cpp.o.d"
+  "/root/repo/src/trace/occupancy.cpp" "src/trace/CMakeFiles/tbp_trace.dir/occupancy.cpp.o" "gcc" "src/trace/CMakeFiles/tbp_trace.dir/occupancy.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/tbp_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/tbp_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

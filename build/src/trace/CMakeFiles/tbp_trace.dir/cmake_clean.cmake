@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_trace.dir/generator.cpp.o"
+  "CMakeFiles/tbp_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/tbp_trace.dir/kernel.cpp.o"
+  "CMakeFiles/tbp_trace.dir/kernel.cpp.o.d"
+  "CMakeFiles/tbp_trace.dir/occupancy.cpp.o"
+  "CMakeFiles/tbp_trace.dir/occupancy.cpp.o.d"
+  "CMakeFiles/tbp_trace.dir/validate.cpp.o"
+  "CMakeFiles/tbp_trace.dir/validate.cpp.o.d"
+  "libtbp_trace.a"
+  "libtbp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

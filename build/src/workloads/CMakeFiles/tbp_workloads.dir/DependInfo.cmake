@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/binomial.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/binomial.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/binomial.cpp.o.d"
+  "/root/repo/src/workloads/black.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/black.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/black.cpp.o.d"
+  "/root/repo/src/workloads/cfd.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/cfd.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/cfd.cpp.o.d"
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/conv.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/conv.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/conv.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/lbm.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/lbm.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/lbm.cpp.o.d"
+  "/root/repo/src/workloads/mri.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/mri.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/mri.cpp.o.d"
+  "/root/repo/src/workloads/mst.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/mst.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/mst.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/spmv.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/spmv.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/spmv.cpp.o.d"
+  "/root/repo/src/workloads/sssp.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/sssp.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/sssp.cpp.o.d"
+  "/root/repo/src/workloads/stream.cpp" "src/workloads/CMakeFiles/tbp_workloads.dir/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/tbp_workloads.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

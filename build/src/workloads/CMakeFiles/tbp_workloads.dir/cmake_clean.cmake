@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/binomial.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/binomial.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/black.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/black.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/cfd.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/cfd.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/common.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/conv.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/conv.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/kmeans.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/kmeans.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/lbm.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/lbm.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/mri.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/mri.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/mst.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/mst.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/registry.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/spmv.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/spmv.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/sssp.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/sssp.cpp.o.d"
+  "CMakeFiles/tbp_workloads.dir/stream.cpp.o"
+  "CMakeFiles/tbp_workloads.dir/stream.cpp.o.d"
+  "libtbp_workloads.a"
+  "libtbp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

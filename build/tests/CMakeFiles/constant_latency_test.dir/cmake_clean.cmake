@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_latency_test.dir/markov/constant_latency_test.cpp.o"
+  "CMakeFiles/constant_latency_test.dir/markov/constant_latency_test.cpp.o.d"
+  "constant_latency_test"
+  "constant_latency_test.pdb"
+  "constant_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test.dir/sim/dram_test.cpp.o"
+  "CMakeFiles/dram_test.dir/sim/dram_test.cpp.o.d"
+  "dram_test"
+  "dram_test.pdb"
+  "dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

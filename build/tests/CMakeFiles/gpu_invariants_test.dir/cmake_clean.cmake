@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_invariants_test.dir/sim/gpu_invariants_test.cpp.o"
+  "CMakeFiles/gpu_invariants_test.dir/sim/gpu_invariants_test.cpp.o.d"
+  "gpu_invariants_test"
+  "gpu_invariants_test.pdb"
+  "gpu_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpu_invariants_test.
+# This may be replaced when dependencies are built.

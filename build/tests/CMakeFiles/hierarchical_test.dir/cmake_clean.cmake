@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_test.dir/cluster/hierarchical_test.cpp.o"
+  "CMakeFiles/hierarchical_test.dir/cluster/hierarchical_test.cpp.o.d"
+  "hierarchical_test"
+  "hierarchical_test.pdb"
+  "hierarchical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

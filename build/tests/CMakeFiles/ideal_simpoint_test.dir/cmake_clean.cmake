@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ideal_simpoint_test.dir/baselines/ideal_simpoint_test.cpp.o"
+  "CMakeFiles/ideal_simpoint_test.dir/baselines/ideal_simpoint_test.cpp.o.d"
+  "ideal_simpoint_test"
+  "ideal_simpoint_test.pdb"
+  "ideal_simpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ideal_simpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inter_launch_test.dir/core/inter_launch_test.cpp.o"
+  "CMakeFiles/inter_launch_test.dir/core/inter_launch_test.cpp.o.d"
+  "inter_launch_test"
+  "inter_launch_test.pdb"
+  "inter_launch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inter_launch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/kmeans_test.cpp" "tests/CMakeFiles/kmeans_test.dir/cluster/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/kmeans_test.dir/cluster/kmeans_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tbp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tbp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tbp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/tbp_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytical/CMakeFiles/tbp_analytical.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/tbp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tbp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tbp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

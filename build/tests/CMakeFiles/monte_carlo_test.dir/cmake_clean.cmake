@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monte_carlo_test.dir/markov/monte_carlo_test.cpp.o"
+  "CMakeFiles/monte_carlo_test.dir/markov/monte_carlo_test.cpp.o.d"
+  "monte_carlo_test"
+  "monte_carlo_test.pdb"
+  "monte_carlo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

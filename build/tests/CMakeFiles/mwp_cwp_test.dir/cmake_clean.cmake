@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwp_cwp_test.dir/analytical/mwp_cwp_test.cpp.o"
+  "CMakeFiles/mwp_cwp_test.dir/analytical/mwp_cwp_test.cpp.o.d"
+  "mwp_cwp_test"
+  "mwp_cwp_test.pdb"
+  "mwp_cwp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwp_cwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_test.dir/trace/occupancy_test.cpp.o"
+  "CMakeFiles/occupancy_test.dir/trace/occupancy_test.cpp.o.d"
+  "occupancy_test"
+  "occupancy_test.pdb"
+  "occupancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

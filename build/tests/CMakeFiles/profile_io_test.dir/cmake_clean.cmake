@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_io_test.dir/profile/profile_io_test.cpp.o"
+  "CMakeFiles/profile_io_test.dir/profile/profile_io_test.cpp.o.d"
+  "profile_io_test"
+  "profile_io_test.pdb"
+  "profile_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_sampling_test.dir/baselines/random_sampling_test.cpp.o"
+  "CMakeFiles/random_sampling_test.dir/baselines/random_sampling_test.cpp.o.d"
+  "random_sampling_test"
+  "random_sampling_test.pdb"
+  "random_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruction_test.dir/core/reconstruction_test.cpp.o"
+  "CMakeFiles/reconstruction_test.dir/core/reconstruction_test.cpp.o.d"
+  "reconstruction_test"
+  "reconstruction_test.pdb"
+  "reconstruction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

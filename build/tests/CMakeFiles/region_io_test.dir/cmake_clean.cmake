@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_io_test.dir/core/region_io_test.cpp.o"
+  "CMakeFiles/region_io_test.dir/core/region_io_test.cpp.o.d"
+  "region_io_test"
+  "region_io_test.pdb"
+  "region_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

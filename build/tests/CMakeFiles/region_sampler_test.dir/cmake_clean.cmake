@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_sampler_test.dir/core/region_sampler_test.cpp.o"
+  "CMakeFiles/region_sampler_test.dir/core/region_sampler_test.cpp.o.d"
+  "region_sampler_test"
+  "region_sampler_test.pdb"
+  "region_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

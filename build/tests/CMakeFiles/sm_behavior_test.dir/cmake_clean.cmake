@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_behavior_test.dir/sim/sm_behavior_test.cpp.o"
+  "CMakeFiles/sm_behavior_test.dir/sim/sm_behavior_test.cpp.o.d"
+  "sm_behavior_test"
+  "sm_behavior_test.pdb"
+  "sm_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

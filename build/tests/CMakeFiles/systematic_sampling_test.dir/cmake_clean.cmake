@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systematic_sampling_test.dir/baselines/systematic_sampling_test.cpp.o"
+  "CMakeFiles/systematic_sampling_test.dir/baselines/systematic_sampling_test.cpp.o.d"
+  "systematic_sampling_test"
+  "systematic_sampling_test.pdb"
+  "systematic_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systematic_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

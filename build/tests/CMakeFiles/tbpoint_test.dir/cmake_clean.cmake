@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbpoint_test.dir/core/tbpoint_test.cpp.o"
+  "CMakeFiles/tbpoint_test.dir/core/tbpoint_test.cpp.o.d"
+  "tbpoint_test"
+  "tbpoint_test.pdb"
+  "tbpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

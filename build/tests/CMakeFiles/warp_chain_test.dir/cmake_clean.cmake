@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_chain_test.dir/markov/warp_chain_test.cpp.o"
+  "CMakeFiles/warp_chain_test.dir/markov/warp_chain_test.cpp.o.d"
+  "warp_chain_test"
+  "warp_chain_test.pdb"
+  "warp_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

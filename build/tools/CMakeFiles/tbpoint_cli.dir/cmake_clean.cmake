@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbpoint_cli.dir/tbpoint_cli.cpp.o"
+  "CMakeFiles/tbpoint_cli.dir/tbpoint_cli.cpp.o.d"
+  "tbpoint_cli"
+  "tbpoint_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbpoint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

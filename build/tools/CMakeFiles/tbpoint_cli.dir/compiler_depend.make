@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbpoint_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbpoint_cli.
+# This may be replaced when dependencies are built.
