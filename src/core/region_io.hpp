@@ -5,14 +5,17 @@
 // per (profile, occupancy) pair, and the simulator consults the stored
 // table at dispatch time.  Persisting tables lets a design sweep reuse them
 // across simulator invocations, and makes them inspectable/diffable.
+// v2 files carry a crc32 trailer and are written atomically; v1 files (no
+// checksum) remain readable.  All counts from disk are capped before any
+// allocation.
 #pragma once
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/region.hpp"
+#include "support/status.hpp"
 
 namespace tbp::core {
 
@@ -24,13 +27,20 @@ struct RegionTableSet {
   std::vector<RegionTable> tables;
 };
 
-void save_region_tables(const RegionTableSet& set, std::ostream& out);
-[[nodiscard]] bool save_region_tables_file(const RegionTableSet& set,
-                                           const std::string& path);
+/// Hard caps on counts read from disk (reject-before-resize).
+inline constexpr std::size_t kMaxRegionTables = 1u << 16;
+inline constexpr std::size_t kMaxRegionsPerTable = 1u << 20;
 
-/// Returns nullopt on malformed input.
-[[nodiscard]] std::optional<RegionTableSet> load_region_tables(std::istream& in);
-[[nodiscard]] std::optional<RegionTableSet> load_region_tables_file(
+void save_region_tables(const RegionTableSet& set, std::ostream& out);
+/// Atomic (temp file + rename).
+[[nodiscard]] Status save_region_tables_file(const RegionTableSet& set,
+                                             const std::string& path);
+
+/// Errors: kCorrupt (bad magic, truncation, checksum mismatch, overlapping
+/// or out-of-range regions), kVersionMismatch, kTooLarge, kNotFound/kIoError
+/// (file variant).
+[[nodiscard]] Result<RegionTableSet> load_region_tables(std::istream& in);
+[[nodiscard]] Result<RegionTableSet> load_region_tables_file(
     const std::string& path);
 
 }  // namespace tbp::core

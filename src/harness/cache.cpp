@@ -2,13 +2,25 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
+
+#include "support/artifact.hpp"
+#include "support/atomic_file.hpp"
 
 namespace tbp::harness {
 namespace {
 
-constexpr const char* kCacheMagic = "tbpoint-row-v2";
+constexpr io::ArtifactFormat kRowFormat{
+    .magic = "tbpoint-row-v3",
+    .legacy_magic = "tbpoint-row-v2",
+    .family = "tbpoint-row-",
+    .kind = "cache-row",
+};
+
+[[nodiscard]] std::filesystem::path row_path(const std::string& cache_dir,
+                                             const std::string& key) {
+  return std::filesystem::path(cache_dir) / (key + ".txt");
+}
 
 /// FNV-1a over a string; the key embeds readable fields plus this hash of
 /// the full option dump, so any option change invalidates the entry.
@@ -63,39 +75,53 @@ std::string experiment_key(const std::string& workload_name,
   return key.str();
 }
 
-std::optional<ExperimentRow> load_cached_row(const std::string& cache_dir,
-                                             const std::string& key) {
-  std::ifstream in(std::filesystem::path(cache_dir) / (key + ".txt"));
-  if (!in) return std::nullopt;
-  std::string magic;
-  if (!std::getline(in, magic) || magic != kCacheMagic) return std::nullopt;
+Result<ExperimentRow> load_cached_row(const std::string& cache_dir,
+                                      const std::string& key) {
+  const std::filesystem::path path = row_path(cache_dir, key);
+  Result<std::string> text = io::read_file_limited(path);
+  if (!text.has_value()) return text.status();
 
-  ExperimentRow row;
-  int irregular = 0;
-  if (!(in >> row.workload >> irregular >> row.n_launches >> row.total_blocks >>
-        row.total_warp_insts >> row.full_ipc >> row.random.ipc >>
-        row.random.err_pct >> row.random.sample_pct >> row.simpoint.ipc >>
-        row.simpoint.err_pct >> row.simpoint.sample_pct >> row.systematic.ipc >>
-        row.systematic.err_pct >> row.systematic.sample_pct >> row.tbpoint.ipc >>
-        row.tbpoint.err_pct >> row.tbpoint.sample_pct >> row.inter_skip_share >>
-        row.simpoint_k >> row.tbp_clusters >> row.unit_insts >>
-        row.full_sim_seconds >> row.tbp_seconds)) {
-    return std::nullopt;
+  const auto parse = [&]() -> Result<ExperimentRow> {
+    Result<std::string> body = io::unseal_artifact(*text, kRowFormat);
+    if (!body.has_value()) return body.status();
+    std::istringstream in(*body);
+    ExperimentRow row;
+    int irregular = 0;
+    if (!(in >> row.workload >> irregular >> row.n_launches >> row.total_blocks >>
+          row.total_warp_insts >> row.full_ipc >> row.random.ipc >>
+          row.random.err_pct >> row.random.sample_pct >> row.simpoint.ipc >>
+          row.simpoint.err_pct >> row.simpoint.sample_pct >> row.systematic.ipc >>
+          row.systematic.err_pct >> row.systematic.sample_pct >> row.tbpoint.ipc >>
+          row.tbpoint.err_pct >> row.tbpoint.sample_pct >> row.inter_skip_share >>
+          row.simpoint_k >> row.tbp_clusters >> row.unit_insts >>
+          row.full_sim_seconds >> row.tbp_seconds)) {
+      return Status(StatusCode::kCorrupt, "cache-row: unreadable fields in " +
+                                              path.string());
+    }
+    std::string extra;
+    if (in >> extra) {
+      return Status(StatusCode::kCorrupt,
+                    "cache-row: trailing garbage in " + path.string());
+    }
+    row.irregular = irregular != 0;
+    return row;
+  };
+
+  Result<ExperimentRow> row = parse();
+  if (!row.has_value()) {
+    // Quarantine: a row that fails validation would otherwise fail every
+    // run; deleting it makes the next lookup a clean miss (recompute).
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
   }
-  row.irregular = irregular != 0;
   return row;
 }
 
-void save_cached_row(const std::string& cache_dir, const std::string& key,
-                     const ExperimentRow& row) {
-  std::error_code ec;
-  std::filesystem::create_directories(cache_dir, ec);
-  if (ec) return;  // caching is best-effort
-  std::ofstream out(std::filesystem::path(cache_dir) / (key + ".txt"));
-  if (!out) return;
+Status save_cached_row(const std::string& cache_dir, const std::string& key,
+                       const ExperimentRow& row) {
+  std::ostringstream out;
   out.precision(17);
-  out << kCacheMagic << '\n'
-      << row.workload << ' ' << (row.irregular ? 1 : 0) << ' ' << row.n_launches
+  out << row.workload << ' ' << (row.irregular ? 1 : 0) << ' ' << row.n_launches
       << ' ' << row.total_blocks << ' ' << row.total_warp_insts << ' '
       << row.full_ipc << ' ' << row.random.ipc << ' ' << row.random.err_pct << ' '
       << row.random.sample_pct << ' ' << row.simpoint.ipc << ' '
@@ -106,6 +132,8 @@ void save_cached_row(const std::string& cache_dir, const std::string& key,
       << row.tbpoint.sample_pct << ' ' << row.inter_skip_share << ' '
       << row.simpoint_k << ' ' << row.tbp_clusters << ' ' << row.unit_insts << ' '
       << row.full_sim_seconds << ' ' << row.tbp_seconds << '\n';
+  return io::write_file_atomic(row_path(cache_dir, key),
+                               io::seal_artifact(kRowFormat.magic, out.str()));
 }
 
 ExperimentRow cached_comparison(const std::string& workload_name,
@@ -115,13 +143,16 @@ ExperimentRow cached_comparison(const std::string& workload_name,
                                 const std::string& cache_dir) {
   const std::string key = experiment_key(workload_name, scale, config, options);
   if (!cache_dir.empty()) {
-    if (std::optional<ExperimentRow> row = load_cached_row(cache_dir, key)) {
-      return *row;
-    }
+    Result<ExperimentRow> row = load_cached_row(cache_dir, key);
+    if (row.has_value()) return *std::move(row);
+    // kNotFound is the ordinary miss; anything else means the entry was
+    // quarantined by load_cached_row and we recompute (graceful degradation).
   }
   const workloads::Workload workload = workloads::make_workload(workload_name, scale);
   const ExperimentRow row = run_comparison(workload, config, options);
-  if (!cache_dir.empty()) save_cached_row(cache_dir, key, row);
+  if (!cache_dir.empty()) {
+    (void)save_cached_row(cache_dir, key, row);  // caching is best-effort
+  }
   return row;
 }
 

@@ -7,13 +7,18 @@
 // (workload, config) pair is simulated once no matter how many bench
 // binaries ask for it.  Delete the cache directory (default
 // ./tbpoint_cache) or pass --no-cache to force recomputation.
+//
+// Rows are written atomically (temp file + rename) so concurrent runs
+// racing on the same key can never tear each other's entries, and carry a
+// crc32 trailer; a row that fails validation is quarantined (deleted) so
+// it is recomputed once instead of failing on every run.
 #pragma once
 
-#include <optional>
 #include <string>
 
 #include "harness/experiment.hpp"
 #include "sim/config.hpp"
+#include "support/status.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::harness {
@@ -24,11 +29,16 @@ namespace tbp::harness {
                                          const sim::GpuConfig& config,
                                          const ComparisonOptions& options);
 
-[[nodiscard]] std::optional<ExperimentRow> load_cached_row(
-    const std::string& cache_dir, const std::string& key);
+/// kNotFound on a plain miss; kCorrupt/kVersionMismatch/kTooLarge when the
+/// entry failed validation (the bad file is deleted so the next run starts
+/// from a clean miss).
+[[nodiscard]] Result<ExperimentRow> load_cached_row(const std::string& cache_dir,
+                                                    const std::string& key);
 
-void save_cached_row(const std::string& cache_dir, const std::string& key,
-                     const ExperimentRow& row);
+/// Atomic write; caching stays best-effort, so callers may ignore the
+/// returned Status, but it says why a row could not be persisted.
+Status save_cached_row(const std::string& cache_dir, const std::string& key,
+                       const ExperimentRow& row);
 
 /// Cached wrapper around run_comparison: builds the workload and runs the
 /// comparison only on a cache miss.  `cache_dir` empty disables caching.

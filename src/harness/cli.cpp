@@ -1,9 +1,12 @@
 #include "harness/cli.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace tbp::harness {
 namespace {
@@ -25,6 +28,48 @@ namespace {
 
 }  // namespace
 
+Result<std::uint64_t> parse_u64(const std::string& text, int base) {
+  const auto reject = [&](const char* why) {
+    return Status(StatusCode::kInvalidArgument,
+                  "'" + text + "' is not a valid number (" + why + ")");
+  };
+  if (text.empty()) return reject("empty");
+  // strtoull silently wraps negatives; reject any leading sign/space.
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return reject("must start with a digit");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, base);
+  if (errno == ERANGE) return reject("out of range");
+  if (end != text.c_str() + text.size()) return reject("trailing characters");
+  return static_cast<std::uint64_t>(value);
+}
+
+Result<std::uint32_t> parse_u32(const std::string& text) {
+  Result<std::uint64_t> wide = parse_u64(text);
+  if (!wide.has_value()) return wide.status();
+  if (*wide > std::numeric_limits<std::uint32_t>::max()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "'" + text + "' is not a valid number (out of range)");
+  }
+  return static_cast<std::uint32_t>(*wide);
+}
+
+Result<double> parse_double(const std::string& text) {
+  const auto reject = [&](const char* why) {
+    return Status(StatusCode::kInvalidArgument,
+                  "'" + text + "' is not a valid number (" + why + ")");
+  };
+  if (text.empty()) return reject("empty");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE) return reject("out of range");
+  if (end != text.c_str() + text.size()) return reject("trailing characters");
+  return value;
+}
+
 CommonFlags parse_common_flags(int argc, char** argv,
                                const std::vector<std::string>& extra_allowed) {
   CommonFlags flags;
@@ -38,11 +83,22 @@ CommonFlags parse_common_flags(int argc, char** argv,
       return argv[++i];
     };
     if (arg == "--scale") {
-      flags.scale.divisor =
-          static_cast<std::uint32_t>(std::strtoul(take_value().c_str(), nullptr, 10));
-      if (flags.scale.divisor == 0) flags.scale.divisor = 1;
+      const Result<std::uint32_t> divisor = parse_u32(take_value());
+      if (!divisor.has_value() || *divisor == 0) {
+        std::fprintf(stderr, "%s: invalid value for --scale: %s\n", argv[0],
+                     divisor.has_value() ? "must be >= 1"
+                                         : divisor.status().message().c_str());
+        std::exit(2);
+      }
+      flags.scale.divisor = *divisor;
     } else if (arg == "--seed") {
-      flags.scale.seed = std::strtoull(take_value().c_str(), nullptr, 0);
+      const Result<std::uint64_t> seed = parse_u64(take_value(), 0);
+      if (!seed.has_value()) {
+        std::fprintf(stderr, "%s: invalid value for --seed: %s\n", argv[0],
+                     seed.status().message().c_str());
+        std::exit(2);
+      }
+      flags.scale.seed = *seed;
     } else if (arg == "--benchmarks") {
       flags.benchmarks = split_commas(take_value());
       for (const std::string& name : flags.benchmarks) {

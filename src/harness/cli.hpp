@@ -12,9 +12,19 @@
 #include <string>
 #include <vector>
 
+#include "support/status.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::harness {
+
+/// Strict numeric parsing for flag values: the whole string must be one
+/// number (no trailing junk, no empty string, no negatives for unsigned),
+/// so `--scale abc` is a usage error instead of silently becoming 0.
+/// `base` follows strtoull (0 = auto-detect 0x/octal prefixes).
+[[nodiscard]] Result<std::uint64_t> parse_u64(const std::string& text,
+                                              int base = 10);
+[[nodiscard]] Result<std::uint32_t> parse_u32(const std::string& text);
+[[nodiscard]] Result<double> parse_double(const std::string& text);
 
 struct CommonFlags {
   workloads::WorkloadScale scale{.divisor = 4, .seed = 0x7b90147};

@@ -1,0 +1,78 @@
+#include "harness/faults.hpp"
+
+#include <algorithm>
+
+#include "stats/rng.hpp"
+
+namespace tbp::harness {
+
+std::string truncate_at(const std::string& payload, std::size_t offset) {
+  return payload.substr(0, std::min(offset, payload.size()));
+}
+
+std::string flip_bit(const std::string& payload, std::size_t bit_index) {
+  if (payload.empty()) return payload;
+  std::string out = payload;
+  const std::size_t byte = (bit_index / 8) % out.size();
+  const unsigned bit = static_cast<unsigned>(bit_index % 8);
+  out[byte] = static_cast<char>(static_cast<unsigned char>(out[byte]) ^
+                                (1u << bit));
+  return out;
+}
+
+std::string splice(const std::string& payload, const std::string& donor,
+                   std::size_t offset) {
+  const std::size_t cut = std::min(offset, payload.size());
+  std::string out = payload.substr(0, cut);
+  if (offset < donor.size()) out += donor.substr(offset);
+  return out;
+}
+
+std::vector<Corruption> corruption_suite(const std::string& payload,
+                                         const std::string& donor,
+                                         std::uint64_t seed) {
+  std::vector<Corruption> suite;
+  const auto add = [&](const char* kind, std::size_t at, std::string text) {
+    suite.push_back(Corruption{
+        .name = std::string(kind) + "@" + std::to_string(at),
+        .payload = std::move(text),
+    });
+  };
+
+  // Systematic truncations at the structurally interesting offsets: nothing
+  // at all, a partial magic line, and everything short of the final byte
+  // (which clips the checksum trailer's newline).
+  const std::size_t n = payload.size();
+  add("truncate", 0, truncate_at(payload, 0));
+  if (n > 4) add("truncate", 4, truncate_at(payload, 4));
+  if (n > 1) {
+    add("truncate", n / 2, truncate_at(payload, n / 2));
+    add("truncate", n - 1, truncate_at(payload, n - 1));
+  }
+
+  // Seeded random coverage over the rest of the byte range.  substream
+  // tags keep truncation and flip offsets independent of each other.
+  stats::Rng trunc_rng = stats::Rng(seed).substream(0x7472756e);  // 'trun'
+  stats::Rng flip_rng = stats::Rng(seed).substream(0x666c6970);   // 'flip'
+  for (int i = 0; i < 8 && n > 1; ++i) {
+    const std::size_t at = 1 + static_cast<std::size_t>(trunc_rng.below(n - 1));
+    add("truncate", at, truncate_at(payload, at));
+  }
+  for (int i = 0; i < 32 && n > 0; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(flip_rng.below(n * 8));
+    add("bitflip", bit, flip_bit(payload, bit));
+  }
+
+  if (!donor.empty()) {
+    stats::Rng splice_rng = stats::Rng(seed).substream(0x73706c63);  // 'splc'
+    const std::size_t limit = std::max<std::size_t>(n, 1);
+    for (int i = 0; i < 8; ++i) {
+      const std::size_t at = 1 + static_cast<std::size_t>(
+                                     splice_rng.below(limit));
+      add("splice", at, splice(payload, donor, at));
+    }
+  }
+  return suite;
+}
+
+}  // namespace tbp::harness

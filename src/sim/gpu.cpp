@@ -4,6 +4,7 @@
 #include <optional>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "trace/occupancy.hpp"
 
@@ -86,17 +87,46 @@ class UnitTracker {
 
 }  // namespace
 
+std::string WatchdogDiagnostic::to_string() const {
+  std::ostringstream out;
+  out << "launch made no forward progress for " << stalled_cycles
+      << " cycles at cycle " << cycle << " (dispatched " << dispatched_blocks
+      << "/" << n_blocks << " blocks, " << warp_insts << " warp insts issued)";
+  for (const SmDebugState& sm : sms) {
+    out << "\n  SM " << sm.sm_id << ": blocks [";
+    for (std::size_t i = 0; i < sm.active_blocks.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << sm.active_blocks[i];
+    }
+    out << "], warps: " << sm.warps_ready << " ready, "
+        << sm.warps_wait_latency << " wait-latency, " << sm.warps_wait_mem
+        << " wait-mem, " << sm.warps_wait_barrier << " wait-barrier, "
+        << sm.warps_wedged << " wedged, " << sm.warps_done << " done";
+  }
+  return out.str();
+}
+
 GpuSimulator::GpuSimulator(const GpuConfig& config) : config_(config) {}
 
 LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
                                       const RunOptions& options) {
+  Result<LaunchResult> result = run_launch_checked(launch, options);
+  if (!result.has_value()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+Result<LaunchResult> GpuSimulator::run_launch_checked(
+    const trace::LaunchTraceSource& launch, const RunOptions& options,
+    WatchdogDiagnostic* diagnostic) {
   const trace::KernelInfo& kernel = launch.kernel();
   const std::uint32_t occupancy =
       trace::sm_occupancy(kernel, config_.sm_resources);
   if (occupancy == 0) {
-    std::fprintf(stderr, "kernel %s exceeds per-SM resources\n",
-                 kernel.name.c_str());
-    std::abort();
+    return Status(StatusCode::kInvalidArgument,
+                  "kernel " + kernel.name + " exceeds per-SM resources");
   }
 
   MemorySystem memory(config_);
@@ -129,6 +159,28 @@ LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
   std::uint64_t fixed_unit_start_threads = 0;
   std::optional<BlockAction> pending_action;
   std::vector<MemCompletion> completions;
+
+  // Forward-progress watchdog state: progress is an issued instruction, a
+  // dispatched block, or a retired block.
+  std::uint64_t retired_blocks = 0;
+  std::uint64_t last_progress_cycle = 0;
+  std::uint64_t seen_warp_insts = 0;
+  std::uint32_t seen_next_block = 0;
+  std::uint64_t seen_retired_blocks = 0;
+
+  const auto fill_diagnostic = [&](std::uint64_t stalled) {
+    WatchdogDiagnostic diag;
+    diag.triggered = true;
+    diag.cycle = cycle;
+    diag.stalled_cycles = stalled;
+    diag.dispatched_blocks = next_block;
+    diag.n_blocks = n_blocks;
+    diag.warp_insts = meter.warp_insts;
+    diag.sms.reserve(sms.size());
+    for (const SmCore& sm : sms) diag.sms.push_back(sm.debug_state());
+    if (diagnostic != nullptr) *diagnostic = diag;
+    return diag;
+  };
 
   const auto close_fixed_unit = [&](std::uint64_t now) {
     FixedUnit unit;
@@ -192,6 +244,7 @@ LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
 
     for (SmCore& sm : sms) {
       for (std::uint32_t block_id : sm.retired()) {
+        ++retired_blocks;
         controller->on_block_retire(block_id, cycle, /*was_skipped=*/false);
         SamplingUnit unit;
         if (units.on_retire(block_id, cycle, meter, unit)) {
@@ -208,11 +261,26 @@ LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
       close_fixed_unit(cycle);
     }
 
+    if (meter.warp_insts != seen_warp_insts || next_block != seen_next_block ||
+        retired_blocks != seen_retired_blocks) {
+      seen_warp_insts = meter.warp_insts;
+      seen_next_block = next_block;
+      seen_retired_blocks = retired_blocks;
+      last_progress_cycle = cycle;
+    } else if (cycle - last_progress_cycle >= options.stall_cycle_limit) {
+      // Deadlock/livelock: every warp is parked (barrier mismatch, wedged
+      // stream, controller bug) and nothing can ever move again.
+      const WatchdogDiagnostic diag = fill_diagnostic(cycle - last_progress_cycle);
+      return Status(StatusCode::kDeadlock, diag.to_string());
+    }
+
     ++cycle;
     if (cycle >= options.max_cycles) {
-      std::fprintf(stderr, "simulation exceeded max_cycles (%llu)\n",
-                   static_cast<unsigned long long>(options.max_cycles));
-      std::abort();
+      const WatchdogDiagnostic diag = fill_diagnostic(cycle - last_progress_cycle);
+      return Status(StatusCode::kTimeout,
+                    "simulation exceeded max_cycles (" +
+                        std::to_string(options.max_cycles) + "); " +
+                        diag.to_string());
     }
   }
 

@@ -6,12 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/config.hpp"
 #include "sim/controller.hpp"
 #include "sim/memory_system.hpp"
 #include "sim/sm.hpp"
+#include "support/status.hpp"
 #include "trace/kernel.hpp"
 
 namespace tbp::sim {
@@ -59,19 +61,51 @@ struct LaunchResult {
   }
 };
 
+/// Structured forward-progress diagnostic filled in when a launch
+/// deadlocks, livelocks, or exceeds its cycle budget: which cycle, how far
+/// dispatch got, and every SM's resident blocks and warp scheduling states.
+struct WatchdogDiagnostic {
+  bool triggered = false;
+  std::uint64_t cycle = 0;
+  std::uint64_t stalled_cycles = 0;  ///< cycles since the last forward progress
+  std::uint32_t dispatched_blocks = 0;
+  std::uint32_t n_blocks = 0;
+  std::uint64_t warp_insts = 0;  ///< issued machine-wide before the stall
+  std::vector<SmDebugState> sms;
+
+  /// Multi-line human-readable rendering (also used as the Status message).
+  [[nodiscard]] std::string to_string() const;
+};
+
 struct RunOptions {
   SimController* controller = nullptr;  ///< null = full simulation
-  std::uint64_t max_cycles = 1ull << 40;  ///< runaway guard (aborts if hit)
+  std::uint64_t max_cycles = 1ull << 40;  ///< hard cycle budget
+  /// Watchdog: a launch that goes this many cycles without issuing an
+  /// instruction, dispatching a block or retiring a block is declared
+  /// deadlocked.  Real memory-bound stalls are thousands of cycles at worst,
+  /// so the default leaves three orders of magnitude of headroom.
+  std::uint64_t stall_cycle_limit = 1ull << 22;
 };
 
 class GpuSimulator {
  public:
   explicit GpuSimulator(const GpuConfig& config);
 
-  /// Simulates one launch to completion.  Aborts (assert) if the kernel's
-  /// per-block resources exceed one SM, or max_cycles is reached.
+  /// Simulates one launch to completion.  Aborts (with the diagnostic on
+  /// stderr) if the kernel's per-block resources exceed one SM, the
+  /// watchdog detects a deadlock, or max_cycles is reached — use
+  /// run_launch_checked to get the failure as a value instead.
   [[nodiscard]] LaunchResult run_launch(const trace::LaunchTraceSource& launch,
                                         const RunOptions& options = {});
+
+  /// Like run_launch, but failures come back as a Status instead of
+  /// aborting: kInvalidArgument (kernel exceeds per-SM resources),
+  /// kDeadlock (watchdog: no forward progress for stall_cycle_limit
+  /// cycles), kTimeout (max_cycles exhausted).  When `diagnostic` is
+  /// non-null it is filled on watchdog/timeout failures.
+  [[nodiscard]] Result<LaunchResult> run_launch_checked(
+      const trace::LaunchTraceSource& launch, const RunOptions& options = {},
+      WatchdogDiagnostic* diagnostic = nullptr);
 
   [[nodiscard]] const GpuConfig& config() const noexcept { return config_; }
 

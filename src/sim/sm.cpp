@@ -114,8 +114,17 @@ void SmCore::issue(std::uint64_t cycle) {
   const std::uint32_t slot_idx = chosen / warps_per_block_;
   const std::uint32_t warp_idx = chosen % warps_per_block_;
   WarpContext& ctx = warps_[chosen];
-  const auto& stream = slots_[slot_idx].trace.warps[warp_idx];
-  assert(ctx.pc < stream.size());
+  const auto& streams = slots_[slot_idx].trace.warps;
+  if (warp_idx >= streams.size() || ctx.pc >= streams[warp_idx].size()) {
+    // Malformed trace: the warp ran out of instructions without a kExit (or
+    // the block shipped fewer warp streams than the kernel declares).  Park
+    // it permanently instead of reading past the stream; the block can never
+    // retire, so the launch-level watchdog reports the wedge as a
+    // structured deadlock diagnostic rather than this being UB.
+    ctx.state = WarpState::kWedged;
+    return;
+  }
+  const auto& stream = streams[warp_idx];
   const trace::WarpInst& inst = stream[ctx.pc];
   ++ctx.pc;
   ++warp_insts_;
@@ -216,6 +225,26 @@ void SmCore::retire_block(std::uint32_t slot_idx) {
   slot.active = false;
   slot.trace = trace::BlockTrace{};  // release the trace's memory
   ++free_slots_;
+}
+
+SmDebugState SmCore::debug_state() const {
+  SmDebugState state;
+  state.sm_id = sm_id_;
+  for (const BlockSlot& slot : slots_) {
+    if (slot.active) state.active_blocks.push_back(slot.block_id);
+  }
+  for (std::uint32_t idx = 0; idx < warps_.size(); ++idx) {
+    if (!slots_[idx / warps_per_block_].active) continue;
+    switch (warps_[idx].state) {
+      case WarpState::kReady: ++state.warps_ready; break;
+      case WarpState::kWaitLatency: ++state.warps_wait_latency; break;
+      case WarpState::kWaitMem: ++state.warps_wait_mem; break;
+      case WarpState::kWaitBarrier: ++state.warps_wait_barrier; break;
+      case WarpState::kWedged: ++state.warps_wedged; break;
+      case WarpState::kDone: ++state.warps_done; break;
+    }
+  }
+  return state;
 }
 
 void SmCore::on_mem_complete(WarpToken token, std::uint64_t cycle) {

@@ -14,6 +14,21 @@
 
 namespace tbp::sim {
 
+/// Snapshot of one SM's scheduling state, taken by the watchdog when a
+/// launch stops making forward progress.  Warp counts are per state, so a
+/// deadlock diagnostic can say "2 warps parked at a barrier, 1 wedged"
+/// instead of just "it hung".
+struct SmDebugState {
+  std::uint32_t sm_id = 0;
+  std::vector<std::uint32_t> active_blocks;  ///< block ids still resident
+  std::uint32_t warps_ready = 0;
+  std::uint32_t warps_wait_latency = 0;
+  std::uint32_t warps_wait_mem = 0;
+  std::uint32_t warps_wait_barrier = 0;
+  std::uint32_t warps_wedged = 0;  ///< ran past end of trace without kExit
+  std::uint32_t warps_done = 0;
+};
+
 /// Machine-wide issue counters shared by all SMs, used for sampling-unit
 /// metering; owned by GpuSimulator.
 struct GlobalMeter {
@@ -61,12 +76,17 @@ class SmCore {
     thread_insts_ = 0;
   }
 
+  /// Scheduling-state snapshot for deadlock diagnostics (cheap: one pass
+  /// over the warp contexts; called only when the watchdog fires).
+  [[nodiscard]] SmDebugState debug_state() const;
+
  private:
   enum class WarpState : std::uint8_t {
     kReady,
     kWaitLatency,  ///< ready at ready_cycle
     kWaitMem,      ///< outstanding line fills > 0
     kWaitBarrier,
+    kWedged,  ///< malformed trace: ran out of instructions without kExit
     kDone,
   };
 

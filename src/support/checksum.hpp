@@ -1,0 +1,17 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) over byte strings.
+//
+// Artifact files append a crc32 trailer over their payload so that torn
+// writes, truncation and bit rot are detected at load time instead of
+// surfacing as silently-wrong experiment rows.  CRC32 is enough: the threat
+// model is accidental corruption, not an adversary.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tbp {
+
+/// CRC32 of `data` (init 0xFFFFFFFF, final xor, as in zlib's crc32).
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+}  // namespace tbp

@@ -1,0 +1,30 @@
+#include "support/status.hpp"
+
+namespace tbp {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kVersionMismatch: return "version-mismatch";
+    case StatusCode::kTooLarge: return "too-large";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kDeadlock: return "deadlock";
+    case StatusCode::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace tbp

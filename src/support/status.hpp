@@ -1,0 +1,101 @@
+// Structured error propagation for the artifact pipeline.
+//
+// Every persisted artifact (profile, region table, cache row) is loaded by
+// code that used to answer only "did it work?" via std::optional/bool.  That
+// conflates "not cached yet" (normal, recompute) with "corrupt on disk"
+// (abnormal, quarantine and report) — a distinction the harness needs once
+// artifacts are shared between concurrent runs.  Status carries an error
+// code plus human-readable context; Result<T> is a value-or-Status holder
+// with the optional-like surface (has_value / operator-> / operator*) the
+// call sites already use.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tbp {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,         ///< artifact does not exist (normal cache miss)
+  kIoError,          ///< OS-level read/write/rename failure
+  kCorrupt,          ///< parse failure, checksum mismatch, invariant violation
+  kVersionMismatch,  ///< recognized family, unsupported format version
+  kTooLarge,         ///< size field or file exceeds the hard cap
+  kInvalidArgument,  ///< caller-supplied input rejected (flags, geometry)
+  kDeadlock,         ///< simulated launch stopped making forward progress
+  kTimeout,          ///< simulation exceeded its configured cycle budget
+};
+
+/// Stable short name for a code ("corrupt", "not-found", ...).
+[[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  /// Default constructed Status is OK.
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok_status() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "corrupt: profile launch 3: bbv entry 7 unreadable" — for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  explicit operator bool() const noexcept { return ok(); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error.  Constructed implicitly from either a T or a non-OK
+/// Status, so loaders can `return Status(...)` / `return value` directly.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /*implicit*/ Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  /*implicit*/ Result(Status status) : v_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(v_).ok() && "Result constructed from OK status");
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return v_.index() == 0; }
+  [[nodiscard]] bool ok() const noexcept { return has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// OK status when a value is held, the stored error otherwise.
+  [[nodiscard]] Status status() const {
+    return has_value() ? Status() : std::get<1>(v_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(v_));
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace tbp

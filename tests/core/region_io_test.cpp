@@ -41,7 +41,47 @@ TEST(RegionIoTest, RoundTripPreservesTables) {
 
 TEST(RegionIoTest, RejectsWrongMagic) {
   std::stringstream stream("not-regions\n84 0\n");
-  EXPECT_FALSE(load_region_tables(stream).has_value());
+  const auto loaded = load_region_tables(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(RegionIoTest, UnknownVersionIsVersionMismatch) {
+  std::stringstream stream("tbpoint-regions-v7\n84 0\n");
+  const auto loaded = load_region_tables(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kVersionMismatch);
+}
+
+TEST(RegionIoTest, LegacyV1WithoutChecksumStillLoads) {
+  std::stringstream stream("tbpoint-regions-v1\n84 1\ntable 10 1\n0 2 5 3\n");
+  const auto loaded = load_region_tables(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->system_occupancy, 84u);
+  ASSERT_EQ(loaded->tables.size(), 1u);
+  EXPECT_EQ(loaded->tables[0].region_of(3), 0);
+}
+
+TEST(RegionIoTest, HugeTableCountRejectedBeforeAllocation) {
+  std::stringstream stream("tbpoint-regions-v1\n84 888888888888\n");
+  const auto loaded = load_region_tables(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kTooLarge);
+}
+
+TEST(RegionIoTest, HugeRegionCountRejectedBeforeAllocation) {
+  std::stringstream stream(
+      "tbpoint-regions-v1\n84 1\ntable 10 999999999999\n");
+  const auto loaded = load_region_tables(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kTooLarge);
+}
+
+TEST(RegionIoTest, RejectsTrailingGarbage) {
+  std::stringstream stream("tbpoint-regions-v1\n84 0\nstray\n");
+  const auto loaded = load_region_tables(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorrupt);
 }
 
 TEST(RegionIoTest, RejectsTruncation) {
@@ -67,14 +107,16 @@ TEST(RegionIoTest, RejectsOverlappingRegions) {
 
 TEST(RegionIoTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/tbp_regions_test.txt";
-  ASSERT_TRUE(save_region_tables_file(sample_set(), path));
+  ASSERT_TRUE(save_region_tables_file(sample_set(), path).ok());
   const auto loaded = load_region_tables_file(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->tables.size(), 2u);
 }
 
-TEST(RegionIoTest, MissingFileIsNullopt) {
-  EXPECT_FALSE(load_region_tables_file("/nonexistent/r.txt").has_value());
+TEST(RegionIoTest, MissingFileIsNotFound) {
+  const auto loaded = load_region_tables_file("/nonexistent/r.txt");
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -109,7 +109,7 @@ TEST(CacheTest, RowRoundTrips) {
   row.full_sim_seconds = 12.5;
   row.tbp_seconds = 1.5;
 
-  save_cached_row(dir, "test_key", row);
+  ASSERT_TRUE(save_cached_row(dir, "test_key", row).ok());
   const auto loaded = load_cached_row(dir, "test_key");
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->workload, "bfs");
@@ -121,8 +121,91 @@ TEST(CacheTest, RowRoundTrips) {
   EXPECT_EQ(loaded->simpoint_k, 7u);
 }
 
-TEST(CacheTest, MissingRowIsNullopt) {
-  EXPECT_FALSE(load_cached_row("/nonexistent_dir", "nope").has_value());
+TEST(CacheTest, MissingRowIsNotFound) {
+  const auto loaded = load_cached_row("/nonexistent_dir", "nope");
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CacheTest, LegacyV2RowWithoutChecksumStillLoads) {
+  // Rows written before the checksum trailer (the committed tbpoint_cache
+  // entries) must keep loading.
+  const std::string dir = ::testing::TempDir() + "/tbp_cache_legacy";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/legacy.txt");
+    out << "tbpoint-row-v2\n"
+           "bfs 1 14 10619 123456789 2.25 2.1 6.7 10 2.2 2.2 5.5 "
+           "2.15 3.3 8 2.24 0.4 2.6 0.25 7 3 50000 12.5 1.5\n";
+  }
+  const auto loaded = load_cached_row(dir, "legacy");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->workload, "bfs");
+  EXPECT_EQ(loaded->n_launches, 14u);
+  EXPECT_DOUBLE_EQ(loaded->full_ipc, 2.25);
+}
+
+TEST(CacheTest, CorruptRowIsQuarantined) {
+  const std::string dir = ::testing::TempDir() + "/tbp_cache_quarantine";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/bad_key.txt";
+  {
+    std::ofstream out(path);
+    out << "tbpoint-row-v3\nnot a row at all\n";
+  }
+  // First lookup: structured corruption error, and the entry is deleted.
+  const auto first = load_cached_row(dir, "bad_key");
+  ASSERT_FALSE(first.has_value());
+  EXPECT_EQ(first.status().code(), StatusCode::kCorrupt);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // Second lookup: clean miss, so the caller recomputes instead of failing
+  // forever on the same bad entry.
+  const auto second = load_cached_row(dir, "bad_key");
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CacheTest, TornWriteRecoversByRecomputation) {
+  // A torn (truncated) cache entry must not poison cached_comparison: it
+  // quarantines the entry, recomputes, and rewrites a valid row.
+  const std::string dir = ::testing::TempDir() + "/tbp_cache_torn";
+  std::filesystem::remove_all(dir);
+
+  workloads::WorkloadScale scale;
+  scale.divisor = 32;
+  sim::GpuConfig config = sim::fermi_config();
+  config.n_sms = 4;
+  ComparisonOptions options;
+  options.target_units = 60;
+  const ExperimentRow fresh =
+      cached_comparison("stream", scale, config, options, dir);
+
+  // Tear the entry: keep the first half of the bytes only.
+  const std::string key = experiment_key("stream", scale, config, options);
+  const std::string path = dir + "/" + key + ".txt";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+
+  const ExperimentRow recovered =
+      cached_comparison("stream", scale, config, options, dir);
+  EXPECT_DOUBLE_EQ(recovered.full_ipc, fresh.full_ipc);
+  EXPECT_DOUBLE_EQ(recovered.tbpoint.ipc, fresh.tbpoint.ipc);
+  // The quarantined entry was rewritten and is valid again.
+  const auto reloaded = load_cached_row(dir, key);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_DOUBLE_EQ(reloaded->full_ipc, fresh.full_ipc);
 }
 
 // ---- csv export ----
@@ -217,6 +300,34 @@ TEST(CliTest, DefaultsToAllBenchmarks) {
   const CommonFlags flags = parse_common_flags(1, const_cast<char**>(argv));
   EXPECT_EQ(flags.benchmark_list().size(), 12u);
   EXPECT_EQ(flags.cache_dir, "tbpoint_cache");
+}
+
+TEST(CliTest, StrictU64Parsing) {
+  ASSERT_TRUE(parse_u64("42").has_value());
+  EXPECT_EQ(*parse_u64("42"), 42u);
+  EXPECT_EQ(*parse_u64("0x10", 0), 16u);
+  EXPECT_EQ(*parse_u64("18446744073709551615"), ~std::uint64_t{0});
+
+  for (const char* bad : {"", "abc", "12abc", "-3", "+5", " 7", "1.5",
+                          "18446744073709551616"}) {
+    const auto parsed = parse_u64(bad);
+    EXPECT_FALSE(parsed.has_value()) << "accepted '" << bad << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CliTest, StrictU32Parsing) {
+  EXPECT_EQ(*parse_u32("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_u32("4294967296").has_value());
+  EXPECT_FALSE(parse_u32("eight").has_value());
+}
+
+TEST(CliTest, StrictDoubleParsing) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("-1.5e3"), -1500.0);
+  for (const char* bad : {"", "abc", "0.5x", "1.2.3"}) {
+    EXPECT_FALSE(parse_double(bad).has_value()) << "accepted '" << bad << "'";
+  }
 }
 
 TEST(CliTest, HasFlagAndFlagValue) {

@@ -53,7 +53,52 @@ TEST(ProfileIoTest, EmptyProfileRoundTrips) {
 
 TEST(ProfileIoTest, RejectsWrongMagic) {
   std::stringstream stream("not-a-profile\n0\n");
-  EXPECT_FALSE(load_profile(stream).has_value());
+  const auto loaded = load_profile(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(ProfileIoTest, UnknownVersionIsVersionMismatch) {
+  std::stringstream stream("tbpoint-profile-v9\n0\n");
+  const auto loaded = load_profile(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kVersionMismatch);
+}
+
+TEST(ProfileIoTest, LegacyV1WithoutChecksumStillLoads) {
+  std::stringstream stream(
+      "tbpoint-profile-v1\n1\nlaunch kernel_a 1 2\nbbv 5 7\n96 3 0\n");
+  const auto loaded = load_profile(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->launches.size(), 1u);
+  EXPECT_EQ(loaded->launches[0].kernel_name, "kernel_a");
+  EXPECT_EQ(loaded->launches[0].bbv, (std::vector<std::uint64_t>{5, 7}));
+}
+
+TEST(ProfileIoTest, HugeLaunchCountRejectedBeforeAllocation) {
+  // A lying size field must be rejected as too-large up front, not fed to
+  // resize/reserve.  Legacy v1 framing so no checksum has to match.
+  std::stringstream stream("tbpoint-profile-v1\n999999999999\n");
+  const auto loaded = load_profile(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kTooLarge);
+}
+
+TEST(ProfileIoTest, HugeBlockCountRejectedBeforeAllocation) {
+  std::stringstream stream(
+      "tbpoint-profile-v1\n1\nlaunch k 888888888888 1\nbbv 5\n");
+  const auto loaded = load_profile(stream);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kTooLarge);
+}
+
+TEST(ProfileIoTest, RejectsTrailingGarbage) {
+  // Records after the declared launch count must not be silently ignored
+  // (that is how a spliced or magic-flipped file would slip through).
+  std::stringstream doubled("tbpoint-profile-v1\n0\n1 2 3\n");
+  const auto loaded = load_profile(doubled);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorrupt);
 }
 
 TEST(ProfileIoTest, RejectsTruncatedInput) {
@@ -75,15 +120,22 @@ TEST(ProfileIoTest, RejectsGarbageNumbers) {
 TEST(ProfileIoTest, FileRoundTrip) {
   const ApplicationProfile original = sample_profile();
   const std::string path = ::testing::TempDir() + "/tbp_profile_io_test.txt";
-  ASSERT_TRUE(save_profile_file(original, path));
+  ASSERT_TRUE(save_profile_file(original, path).ok());
   const auto loaded = load_profile_file(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->launches.size(), 2u);
   EXPECT_EQ(loaded->launches[0].kernel_name, "kernel_a");
 }
 
-TEST(ProfileIoTest, MissingFileReturnsNullopt) {
-  EXPECT_FALSE(load_profile_file("/nonexistent/path/profile.txt").has_value());
+TEST(ProfileIoTest, MissingFileIsNotFound) {
+  const auto loaded = load_profile_file("/nonexistent/path/profile.txt");
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProfileIoTest, UnwritablePathIsIoError) {
+  EXPECT_FALSE(
+      save_profile_file(sample_profile(), "/proc/tbp/cannot/write.txt").ok());
 }
 
 }  // namespace

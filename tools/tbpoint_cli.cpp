@@ -3,18 +3,25 @@
 //   tbpoint_cli list
 //       Available benchmark models.
 //   tbpoint_cli profile  <workload> -o profile.txt [--scale N] [--seed S]
+//                        [--validate]
 //       One-time functional profiling; writes the profile artifact.
 //   tbpoint_cli regions  <profile.txt> --occupancy N [-o regions.txt]
 //       Homogeneous-region identification from a saved profile (re-run per
 //       hardware configuration; this is the cheap re-clustering step).
 //   tbpoint_cli run      <workload> [--scale N] [--sms S] [--warps W]
 //                        [--inter-sigma X] [--intra-sigma X] [--vf X]
-//                        [--no-inter] [--no-intra] [--gto]
+//                        [--no-inter] [--no-intra] [--gto] [--validate]
 //       Full TBPoint pipeline; prints predicted IPC and sample size.
 //   tbpoint_cli compare  <workload> [--scale N] [--sms S] [--warps W]
+//                        [--validate]
 //       Four-way Full / Random / Ideal-SimPoint / TBPoint comparison.
 //   tbpoint_cli lemma41  [--p X] [--m X] [--warps N] [--samples N]
 //       Markov-chain Monte-Carlo check of the paper's Lemma 4.1.
+//
+// --validate runs trace::validate_launch over every launch of the workload
+// before simulating and fails with the violation report if a trace breaks
+// the simulator's contract.  All numeric flag values are parsed strictly:
+// malformed numbers are a usage error (exit 2), never silently zero.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +41,7 @@
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
 #include "trace/occupancy.hpp"
+#include "trace/validate.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -47,23 +55,60 @@ using namespace tbp;
   std::exit(2);
 }
 
+[[noreturn]] void bad_flag_value(const std::string& name, const Status& status) {
+  std::fprintf(stderr, "tbpoint_cli: invalid value for %s: %s\n", name.c_str(),
+               status.message().c_str());
+  std::exit(2);
+}
+
 double flag_double(int argc, char** argv, const std::string& name, double fb) {
   const std::string v = harness::flag_value(argc, argv, name, "");
-  return v.empty() ? fb : std::atof(v.c_str());
+  if (v.empty()) return fb;
+  const Result<double> parsed = harness::parse_double(v);
+  if (!parsed.has_value()) bad_flag_value(name, parsed.status());
+  return *parsed;
 }
 
 std::uint32_t flag_u32(int argc, char** argv, const std::string& name,
                        std::uint32_t fb) {
   const std::string v = harness::flag_value(argc, argv, name, "");
-  return v.empty() ? fb : static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+  if (v.empty()) return fb;
+  const Result<std::uint32_t> parsed = harness::parse_u32(v);
+  if (!parsed.has_value()) bad_flag_value(name, parsed.status());
+  return *parsed;
 }
 
 workloads::WorkloadScale scale_from_flags(int argc, char** argv) {
   workloads::WorkloadScale scale;
   scale.divisor = flag_u32(argc, argv, "--scale", 4);
-  scale.seed = std::strtoull(
-      harness::flag_value(argc, argv, "--seed", "0x7b90147").c_str(), nullptr, 0);
+  if (scale.divisor == 0) {
+    std::fprintf(stderr, "tbpoint_cli: invalid value for --scale: must be >= 1\n");
+    std::exit(2);
+  }
+  const Result<std::uint64_t> seed = harness::parse_u64(
+      harness::flag_value(argc, argv, "--seed", "0x7b90147"), /*base=*/0);
+  if (!seed.has_value()) bad_flag_value("--seed", seed.status());
+  scale.seed = *seed;
   return scale;
+}
+
+/// When --validate was passed, checks every launch trace of the workload
+/// against the simulator's contract; returns false (after printing the
+/// violation report) if any launch is malformed.
+bool validate_if_requested(int argc, char** argv,
+                           const workloads::Workload& workload) {
+  if (!harness::has_flag(argc, argv, "--validate")) return true;
+  bool ok = true;
+  const auto sources = workload.sources();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const trace::ValidationReport report = trace::validate_launch(*sources[i]);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s launch %zu: invalid trace: %s\n",
+                   workload.name.c_str(), i, report.summary().c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 sim::GpuConfig config_from_flags(int argc, char** argv) {
@@ -91,13 +136,15 @@ int cmd_profile(int argc, char** argv) {
   const std::string out_path = harness::flag_value(argc, argv, "-o", "profile.txt");
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+  if (!validate_if_requested(argc, argv, workload)) return 1;
 
   profile::ApplicationProfile app;
   for (const auto* source : workload.sources()) {
     app.launches.push_back(profile::profile_launch(*source));
   }
-  if (!profile::save_profile_file(app, out_path)) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  if (const Status st = profile::save_profile_file(app, out_path); !st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 st.to_string().c_str());
     return 1;
   }
   std::printf("profiled %zu launches / %llu blocks / %llu warp insts -> %s\n",
@@ -116,8 +163,9 @@ int cmd_regions(int argc, char** argv) {
     return 2;
   }
   const auto app = profile::load_profile_file(argv[2]);
-  if (!app) {
-    std::fprintf(stderr, "cannot read profile %s\n", argv[2]);
+  if (!app.has_value()) {
+    std::fprintf(stderr, "cannot read profile %s: %s\n", argv[2],
+                 app.status().to_string().c_str());
     return 1;
   }
 
@@ -135,8 +183,9 @@ int cmd_regions(int argc, char** argv) {
     set.tables.push_back(std::move(id.table));
   }
   const std::string out_path = harness::flag_value(argc, argv, "-o", "regions.txt");
-  if (!core::save_region_tables_file(set, out_path)) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  if (const Status st = core::save_region_tables_file(set, out_path); !st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                 st.to_string().c_str());
     return 1;
   }
   std::printf("identified %zu homogeneous regions across %zu launches -> %s\n",
@@ -148,6 +197,7 @@ int cmd_run(int argc, char** argv) {
   if (argc < 3) usage();
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+  if (!validate_if_requested(argc, argv, workload)) return 1;
   const sim::GpuConfig config = config_from_flags(argc, argv);
 
   profile::ApplicationProfile app;
@@ -185,6 +235,7 @@ int cmd_compare(int argc, char** argv) {
   if (argc < 3) usage();
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+  if (!validate_if_requested(argc, argv, workload)) return 1;
   const harness::ExperimentRow row =
       harness::run_comparison(workload, config_from_flags(argc, argv));
 
