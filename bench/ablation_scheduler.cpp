@@ -9,7 +9,10 @@
 // simulation rerun.
 //
 // Flags: --scale N --seed S --benchmarks a,b (default bfs,spmv,hotspot,cfd)
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/tbpoint.hpp"
 #include "harness/cli.hpp"
@@ -17,6 +20,7 @@
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
+#include "support/parallel.hpp"
 #include "workloads/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -33,16 +37,20 @@ int main(int argc, char** argv) {
   harness::TablePrinter table({"benchmark", "RR full IPC", "RR err%", "RR smp%",
                                "GTO full IPC", "GTO err%", "GTO smp%"});
 
+  par::set_global_jobs(flags.jobs);
   for (const std::string& name : flags.benchmarks) {
     std::fprintf(stderr, "[bench] %s ...\n", name.c_str());
     const workloads::Workload workload = workloads::make_workload(name, flags.scale);
     const auto sources = workload.sources();
 
-    // One-time profiling, shared by both scheduler columns.
+    // One-time profiling, shared by both scheduler columns.  Launches are
+    // independent; slots are indexed by launch so the profile is identical
+    // for every --jobs value.
     profile::ApplicationProfile profile;
-    for (const auto* source : sources) {
-      profile.launches.push_back(profile::profile_launch(*source));
-    }
+    profile.launches.resize(sources.size());
+    par::parallel_for(sources.size(), flags.jobs, [&](std::size_t i) {
+      profile.launches[i] = profile::profile_launch(*sources[i]);
+    });
 
     std::vector<std::string> cells = {name};
     for (const sim::WarpScheduler scheduler :
@@ -50,15 +58,25 @@ int main(int argc, char** argv) {
       sim::GpuConfig config = sim::fermi_config();
       config.scheduler = scheduler;
 
-      const core::TBPointRun run = core::run_tbpoint(sources, profile, config, {});
+      core::TBPointOptions options;
+      options.jobs = flags.jobs;
+      const core::TBPointRun run = core::run_tbpoint(sources, profile, config, options);
 
-      sim::GpuSimulator simulator(config);
+      // Ground truth: one fresh simulator per launch (explicit isolation),
+      // serial reduction in launch order.
+      std::vector<std::uint64_t> launch_cycles(sources.size(), 0);
+      std::vector<std::uint64_t> launch_insts(sources.size(), 0);
+      par::parallel_for(sources.size(), flags.jobs, [&](std::size_t i) {
+        sim::GpuSimulator simulator(config);
+        const sim::LaunchResult full = simulator.run_launch(*sources[i]);
+        launch_cycles[i] = full.cycles;
+        launch_insts[i] = full.sim_warp_insts;
+      });
       std::uint64_t cycles = 0;
       std::uint64_t insts = 0;
-      for (const auto* source : sources) {
-        const sim::LaunchResult full = simulator.run_launch(*source);
-        cycles += full.cycles;
-        insts += full.sim_warp_insts;
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        cycles += launch_cycles[i];
+        insts += launch_insts[i];
       }
       const double full_ipc =
           static_cast<double>(insts) / static_cast<double>(cycles);

@@ -8,6 +8,7 @@
 // simulation computed once per benchmark.
 //
 // Flags: --scale N --seed S --benchmarks a,b (default bfs,spmv,hotspot,mst)
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -19,6 +20,7 @@
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
+#include "support/parallel.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -31,18 +33,30 @@ struct PreparedWorkload {
 
 PreparedWorkload prepare(const std::string& name,
                          const tbp::workloads::WorkloadScale& scale,
-                         const tbp::sim::GpuConfig& config) {
+                         const tbp::sim::GpuConfig& config, std::size_t jobs) {
   PreparedWorkload out{.workload = tbp::workloads::make_workload(name, scale),
                        .profile = {},
                        .full_ipc = 0.0};
-  tbp::sim::GpuSimulator simulator(config);
+  // Launches profile and simulate independently (fresh simulator per
+  // launch); slot-indexed collection + serial reduction keeps the result
+  // identical for every jobs value.
+  const std::size_t n = out.workload.launches.size();
+  out.profile.launches.resize(n);
+  std::vector<std::uint64_t> launch_cycles(n, 0);
+  std::vector<std::uint64_t> launch_insts(n, 0);
+  tbp::par::parallel_for(n, jobs, [&](std::size_t i) {
+    const auto& launch = *out.workload.launches[i];
+    out.profile.launches[i] = tbp::profile::profile_launch(launch);
+    tbp::sim::GpuSimulator simulator(config);
+    const tbp::sim::LaunchResult result = simulator.run_launch(launch);
+    launch_cycles[i] = result.cycles;
+    launch_insts[i] = result.sim_warp_insts;
+  });
   std::uint64_t cycles = 0;
   std::uint64_t insts = 0;
-  for (const auto& launch : out.workload.launches) {
-    out.profile.launches.push_back(tbp::profile::profile_launch(*launch));
-    const tbp::sim::LaunchResult result = simulator.run_launch(*launch);
-    cycles += result.cycles;
-    insts += result.sim_warp_insts;
+  for (std::size_t i = 0; i < n; ++i) {
+    cycles += launch_cycles[i];
+    insts += launch_insts[i];
   }
   out.full_ipc = static_cast<double>(insts) / static_cast<double>(cycles);
   return out;
@@ -57,13 +71,14 @@ int main(int argc, char** argv) {
     flags.benchmarks = {"bfs", "spmv", "hotspot", "mst"};
   }
   const sim::GpuConfig config = sim::fermi_config();
+  par::set_global_jobs(flags.jobs);
 
-  std::vector<PreparedWorkload> prepared;
-  for (const std::string& name : flags.benchmarks) {
+  std::vector<PreparedWorkload> prepared(flags.benchmarks.size());
+  par::parallel_for(flags.benchmarks.size(), flags.jobs, [&](std::size_t i) {
     std::fprintf(stderr, "[bench] preparing %s (full simulation)...\n",
-                 name.c_str());
-    prepared.push_back(prepare(name, flags.scale, config));
-  }
+                 flags.benchmarks[i].c_str());
+    prepared[i] = prepare(flags.benchmarks[i], flags.scale, config, flags.jobs);
+  });
 
   struct Axis {
     const char* name;
@@ -121,8 +136,10 @@ int main(int argc, char** argv) {
     for (const auto& [label, options] : axis.settings) {
       std::vector<std::string> cells = {label};
       for (const PreparedWorkload& p : prepared) {
+        core::TBPointOptions run_options = options;
+        run_options.jobs = flags.jobs;
         const core::TBPointRun run =
-            core::run_tbpoint(p.workload.sources(), p.profile, config, options);
+            core::run_tbpoint(p.workload.sources(), p.profile, config, run_options);
         cells.push_back(harness::fmt(
             stats::relative_error_pct(run.app.predicted_ipc, p.full_ipc), 2));
         cells.push_back(harness::fmt(100.0 * run.app.sample_fraction(), 1));

@@ -4,6 +4,14 @@
 // Rows are produced through the harness result cache, so the expensive full
 // simulations run once per (workload, config, options) no matter which
 // bench binary asks first.
+//
+// Rows run in parallel under --jobs (and the launch simulations inside a
+// row share the same budget through ComparisonOptions::jobs).  Output is
+// bit-identical for every jobs value: rows land in slots indexed by their
+// position in the benchmark list, never by completion order, and
+// cached_comparison's once-per-key guard keeps concurrent requests for one
+// key down to one computation.  Only the stderr progress interleaving and
+// the wall-clock timing fields depend on jobs.
 #pragma once
 
 #include <cstdio>
@@ -16,6 +24,7 @@
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "sim/config.hpp"
+#include "support/parallel.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::bench {
@@ -23,13 +32,21 @@ namespace tbp::bench {
 /// Collects one comparison row per requested benchmark under `config`.
 inline std::vector<harness::ExperimentRow> collect_rows(
     const harness::CommonFlags& flags, const sim::GpuConfig& config,
-    const harness::ComparisonOptions& options = {}) {
-  std::vector<harness::ExperimentRow> rows;
-  for (const std::string& name : flags.benchmark_list()) {
-    std::fprintf(stderr, "[bench] %s ...\n", name.c_str());
-    rows.push_back(harness::cached_comparison(name, flags.scale, config, options,
-                                              flags.cache_dir));
-  }
+    harness::ComparisonOptions options = {}) {
+  par::set_global_jobs(flags.jobs);
+  options.jobs = flags.jobs;
+  const std::vector<std::string>& names = flags.benchmark_list();
+  std::vector<harness::ExperimentRow> rows(names.size());
+  par::parallel_for(names.size(), flags.jobs, [&](std::size_t i) {
+    std::fprintf(stderr, "[bench] %s ...\n", names[i].c_str());
+    rows[i] = harness::cached_comparison(names[i], flags.scale, config, options,
+                                         flags.cache_dir);
+    if (rows[i].from_cache) {
+      // Cached rows carry wall-clock timings from the original run.
+      std::fprintf(stderr, "[bench] %s: cached row (timings from original run)\n",
+                   names[i].c_str());
+    }
+  });
   return rows;
 }
 

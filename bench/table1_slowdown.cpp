@@ -35,7 +35,11 @@ int main(int argc, char** argv) {
       {"MM", 881, "19.58 hours"},
   };
 
-  // Measure this build's simulation rate on a calibration workload.
+  // Measure this build's simulation rate on a calibration workload.  This
+  // bench deliberately ignores --jobs and the row cache: the quantity being
+  // reported is single-thread simulator throughput, so the calibration loop
+  // must run serially and re-time on every invocation (no stale cached
+  // wall-clock figures can leak in here).
   const workloads::Workload calib = workloads::make_workload("cfd", flags.scale);
   sim::GpuSimulator simulator(sim::fermi_config());
   const auto start = std::chrono::steady_clock::now();

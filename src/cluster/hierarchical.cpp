@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 
@@ -90,7 +92,12 @@ std::vector<int> Dendrogram::cut(double threshold) const {
 }
 
 std::vector<int> Dendrogram::cut_k(std::size_t k) const {
-  assert(k >= 1);
+  // k == 0 is a caller bug; under NDEBUG it would silently behave like k == 1
+  // (every merge kept -> one giant cluster), so validate in release too.
+  if (k < 1) {
+    std::fprintf(stderr, "Dendrogram::cut_k: k must be >= 1 (got %zu)\n", k);
+    std::abort();
+  }
   const std::size_t n_keep = k >= n_leaves_ ? 0 : n_leaves_ - k;
   const std::vector<std::size_t> order = merge_order_by_height(merges_);
   std::vector<char> keep(merges_.size(), 0);

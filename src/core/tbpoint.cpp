@@ -3,6 +3,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "support/parallel.hpp"
 #include "trace/occupancy.hpp"
 
 namespace tbp::core {
@@ -34,42 +35,53 @@ TBPointRun run_tbpoint(std::span<const trace::LaunchTraceSource* const> launches
   run.inter = options.enable_inter ? cluster_launches(profile, options.inter)
                                    : identity_clustering(launches.size());
 
-  sim::GpuSimulator simulator(config);
+  // The representative launches are independent simulations: each owns a
+  // freshly constructed simulator (explicit launch isolation — no
+  // cache/DRAM state leaks between representatives) and its own sampler,
+  // and writes into its slot in run.reps.  Collecting by slot index keeps
+  // the result bit-identical to the serial order for every jobs value.
+  run.reps.resize(run.inter.representatives.size());
+  par::parallel_for(
+      run.inter.representatives.size(), options.jobs, [&](std::size_t r) {
+        const std::size_t launch_index = run.inter.representatives[r];
+        const trace::LaunchTraceSource& source = *launches[launch_index];
+        const profile::LaunchProfile& launch_profile =
+            profile.launches[launch_index];
+
+        RepresentativeRun rep;
+        rep.launch_index = launch_index;
+
+        const std::uint32_t occupancy = trace::system_occupancy(
+            source.kernel(), config.sm_resources, config.n_sms);
+        if (options.enable_intra && occupancy > 0) {
+          rep.regions = identify_regions(launch_profile, occupancy, options.intra);
+        } else {
+          rep.regions.table = RegionTable{
+              static_cast<std::uint32_t>(launch_profile.blocks.size()), {}};
+        }
+
+        RegionSamplerOptions sampler_options = options.sampler;
+        if (sampler_options.simulate_final_tail_blocks == 0) {
+          // Simulate the launch-final drain (see RegionSamplerOptions).
+          sampler_options.simulate_final_tail_blocks = occupancy;
+        }
+        RegionSampler sampler(launch_profile, rep.regions.table, sampler_options);
+        sim::RunOptions run_options;
+        run_options.controller = &sampler;
+        sim::GpuSimulator simulator(config);
+        rep.sim = simulator.run_launch(source, run_options);
+        sampler.finalize();
+
+        rep.skipped.assign(sampler.skipped_regions().begin(),
+                           sampler.skipped_regions().end());
+        rep.prediction = predict_launch(launch_profile, rep.sim, rep.skipped);
+        run.reps[r] = std::move(rep);
+      });
+
   std::vector<LaunchPrediction> rep_predictions;
-  rep_predictions.reserve(run.inter.representatives.size());
-
-  for (std::size_t launch_index : run.inter.representatives) {
-    const trace::LaunchTraceSource& source = *launches[launch_index];
-    const profile::LaunchProfile& launch_profile = profile.launches[launch_index];
-
-    RepresentativeRun rep;
-    rep.launch_index = launch_index;
-
-    const std::uint32_t occupancy = trace::system_occupancy(
-        source.kernel(), config.sm_resources, config.n_sms);
-    if (options.enable_intra && occupancy > 0) {
-      rep.regions = identify_regions(launch_profile, occupancy, options.intra);
-    } else {
-      rep.regions.table =
-          RegionTable{static_cast<std::uint32_t>(launch_profile.blocks.size()), {}};
-    }
-
-    RegionSamplerOptions sampler_options = options.sampler;
-    if (sampler_options.simulate_final_tail_blocks == 0) {
-      // Simulate the launch-final drain (see RegionSamplerOptions).
-      sampler_options.simulate_final_tail_blocks = occupancy;
-    }
-    RegionSampler sampler(launch_profile, rep.regions.table, sampler_options);
-    sim::RunOptions run_options;
-    run_options.controller = &sampler;
-    rep.sim = simulator.run_launch(source, run_options);
-    sampler.finalize();
-
-    rep.skipped.assign(sampler.skipped_regions().begin(),
-                       sampler.skipped_regions().end());
-    rep.prediction = predict_launch(launch_profile, rep.sim, rep.skipped);
+  rep_predictions.reserve(run.reps.size());
+  for (const RepresentativeRun& rep : run.reps) {
     rep_predictions.push_back(rep.prediction);
-    run.reps.push_back(std::move(rep));
   }
 
   run.app = combine_predictions(profile, run.inter, rep_predictions);

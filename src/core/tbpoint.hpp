@@ -31,6 +31,12 @@ struct TBPointOptions {
   RegionSamplerOptions sampler;
   bool enable_inter = true;
   bool enable_intra = true;
+  /// Maximum concurrency for the representative-launch simulations
+  /// (1 = serial).  Every representative owns a freshly constructed
+  /// simulator and sampler and writes into its own slot, so the run is
+  /// bit-identical for every jobs value; jobs is therefore excluded from
+  /// the experiment cache key.
+  std::size_t jobs = 1;
 };
 
 /// Everything TBPoint did for one representative launch.

@@ -1,8 +1,13 @@
 #include "harness/cache.hpp"
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/artifact.hpp"
 #include "support/atomic_file.hpp"
@@ -104,6 +109,9 @@ Result<ExperimentRow> load_cached_row(const std::string& cache_dir,
                     "cache-row: trailing garbage in " + path.string());
     }
     row.irregular = irregular != 0;
+    // Anything read from disk carries timings measured by the original
+    // run; timing-consuming callers check this marker.
+    row.from_cache = true;
     return row;
   };
 
@@ -136,23 +144,90 @@ Status save_cached_row(const std::string& cache_dir, const std::string& key,
                                io::seal_artifact(kRowFormat.magic, out.str()));
 }
 
+namespace {
+
+// In-process once-per-key guard: when parallel bench rows (or parallel
+// bench binaries sharing one process) request the same experiment key
+// concurrently, exactly one thread computes it and the rest wait for and
+// share its row.  The on-disk cache alone cannot provide this — both
+// threads would miss, both would simulate, and one write would win — the
+// atomic-rename discipline only keeps the racing *files* untorn.
+struct InFlightRow {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ExperimentRow row;
+  std::exception_ptr error;
+};
+
+std::mutex g_in_flight_mutex;
+std::unordered_map<std::string, std::shared_ptr<InFlightRow>> g_in_flight;
+
+}  // namespace
+
 ExperimentRow cached_comparison(const std::string& workload_name,
                                 const workloads::WorkloadScale& scale,
                                 const sim::GpuConfig& config,
                                 const ComparisonOptions& options,
                                 const std::string& cache_dir) {
   const std::string key = experiment_key(workload_name, scale, config, options);
-  if (!cache_dir.empty()) {
-    Result<ExperimentRow> row = load_cached_row(cache_dir, key);
-    if (row.has_value()) return *std::move(row);
-    // kNotFound is the ordinary miss; anything else means the entry was
-    // quarantined by load_cached_row and we recompute (graceful degradation).
+
+  std::shared_ptr<InFlightRow> entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(g_in_flight_mutex);
+    auto [it, inserted] =
+        g_in_flight.try_emplace(key, std::make_shared<InFlightRow>());
+    entry = it->second;
+    owner = inserted;
   }
-  const workloads::Workload workload = workloads::make_workload(workload_name, scale);
-  const ExperimentRow row = run_comparison(workload, config, options);
-  if (!cache_dir.empty()) {
-    (void)save_cached_row(cache_dir, key, row);  // caching is best-effort
+  if (!owner) {
+    // Another thread is computing (or loading) this key right now; wait
+    // for its result instead of simulating the same experiment twice.
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    entry->cv.wait(lock, [&] { return entry->done; });
+    if (entry->error != nullptr) std::rethrow_exception(entry->error);
+    return entry->row;
   }
+
+  const auto compute = [&]() -> ExperimentRow {
+    if (!cache_dir.empty()) {
+      Result<ExperimentRow> row = load_cached_row(cache_dir, key);
+      if (row.has_value()) return *std::move(row);
+      // kNotFound is the ordinary miss; anything else means the entry was
+      // quarantined by load_cached_row and we recompute (graceful
+      // degradation).
+    }
+    const workloads::Workload workload =
+        workloads::make_workload(workload_name, scale);
+    const ExperimentRow row = run_comparison(workload, config, options);
+    if (!cache_dir.empty()) {
+      (void)save_cached_row(cache_dir, key, row);  // caching is best-effort
+    }
+    return row;
+  };
+
+  ExperimentRow row;
+  std::exception_ptr error;
+  try {
+    row = compute();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->row = row;
+    entry->error = error;
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+  {
+    // Retire the guard so a later request re-reads the (now warm) disk
+    // cache instead of holding every row of the run in memory.
+    std::lock_guard<std::mutex> lock(g_in_flight_mutex);
+    g_in_flight.erase(key);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
   return row;
 }
 

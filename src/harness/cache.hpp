@@ -42,6 +42,10 @@ Status save_cached_row(const std::string& cache_dir, const std::string& key,
 
 /// Cached wrapper around run_comparison: builds the workload and runs the
 /// comparison only on a cache miss.  `cache_dir` empty disables caching.
+/// Thread-safe with an in-process once-per-key guard: concurrent calls for
+/// the same key cost one computation, with the waiters sharing the owner's
+/// row (see the parallel bench harness).  Rows loaded from disk come back
+/// with `from_cache` set.
 [[nodiscard]] ExperimentRow cached_comparison(const std::string& workload_name,
                                               const workloads::WorkloadScale& scale,
                                               const sim::GpuConfig& config,

@@ -113,6 +113,15 @@ CommonFlags parse_common_flags(int argc, char** argv,
       flags.cache_dir.clear();
     } else if (arg == "--cache-dir") {
       flags.cache_dir = take_value();
+    } else if (arg == "--jobs") {
+      const Result<std::uint32_t> jobs = parse_u32(take_value());
+      if (!jobs.has_value() || *jobs == 0) {
+        std::fprintf(stderr, "%s: invalid value for --jobs: %s\n", argv[0],
+                     jobs.has_value() ? "must be >= 1"
+                                      : jobs.status().message().c_str());
+        std::exit(2);
+      }
+      flags.jobs = *jobs;
     } else {
       const bool allowed =
           std::any_of(extra_allowed.begin(), extra_allowed.end(),
@@ -125,7 +134,7 @@ CommonFlags parse_common_flags(int argc, char** argv,
       }
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--seed S] [--benchmarks a,b,...] "
-                   "[--no-cache] [--cache-dir PATH]\n",
+                   "[--no-cache] [--cache-dir PATH] [--jobs N]\n",
                    argv[0]);
       std::exit(2);
     }

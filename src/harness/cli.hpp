@@ -6,12 +6,17 @@
 //   --benchmarks a,b   comma-separated subset of Table VI names
 //   --no-cache         recompute instead of using ./tbpoint_cache
 //   --cache-dir PATH   cache location
+//   --jobs N           max parallel experiment rows / launch simulations
+//                      (default: hardware concurrency; 1 = fully serial).
+//                      Results are bit-identical for every value; only
+//                      wall-clock changes.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "support/parallel.hpp"
 #include "support/status.hpp"
 #include "workloads/workload.hpp"
 
@@ -30,6 +35,7 @@ struct CommonFlags {
   workloads::WorkloadScale scale{.divisor = 4, .seed = 0x7b90147};
   std::vector<std::string> benchmarks;  ///< empty = all 12
   std::string cache_dir = "tbpoint_cache";
+  std::size_t jobs = par::default_jobs();  ///< strict-parsed --jobs, >= 1
 
   [[nodiscard]] const std::vector<std::string>& benchmark_list() const {
     return benchmarks.empty() ? workloads::workload_names() : benchmarks;

@@ -6,7 +6,9 @@
 namespace tbp::harness {
 
 std::string csv_escape(const std::string& value) {
-  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  // \r must be quoted too: bare carriage returns split rows for CRLF-aware
+  // readers even though they are invisible on POSIX.
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
   std::string out = "\"";
   for (char c : value) {
     if (c == '"') out += '"';
@@ -23,7 +25,7 @@ void write_rows_csv(std::span<const ExperimentRow> rows, std::ostream& out) {
          "simpoint_ipc,simpoint_err_pct,simpoint_sample_pct,simpoint_k,"
          "systematic_ipc,systematic_err_pct,systematic_sample_pct,"
          "tbpoint_ipc,tbpoint_err_pct,tbpoint_sample_pct,tbp_clusters,"
-         "inter_skip_share,full_sim_seconds,tbp_seconds\n";
+         "inter_skip_share,full_sim_seconds,tbp_seconds,from_cache\n";
   out.precision(10);
   for (const ExperimentRow& row : rows) {
     out << csv_escape(row.workload) << ',' << (row.irregular ? "I" : "II") << ','
@@ -37,7 +39,7 @@ void write_rows_csv(std::span<const ExperimentRow> rows, std::ostream& out) {
         << row.tbpoint.ipc << ',' << row.tbpoint.err_pct << ','
         << row.tbpoint.sample_pct << ',' << row.tbp_clusters << ','
         << row.inter_skip_share << ',' << row.full_sim_seconds << ','
-        << row.tbp_seconds << '\n';
+        << row.tbp_seconds << ',' << (row.from_cache ? 1 : 0) << '\n';
   }
 }
 

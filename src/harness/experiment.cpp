@@ -1,12 +1,14 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <vector>
 
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
+#include "support/parallel.hpp"
 
 namespace tbp::harness {
 namespace {
@@ -17,11 +19,19 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+std::atomic<std::size_t> g_comparison_invocations{0};
+
 }  // namespace
+
+std::size_t run_comparison_invocations() noexcept {
+  return g_comparison_invocations.load(std::memory_order_relaxed);
+}
 
 ExperimentRow run_comparison(const workloads::Workload& workload,
                              const sim::GpuConfig& config,
                              const ComparisonOptions& options) {
+  g_comparison_invocations.fetch_add(1, std::memory_order_relaxed);
+
   ExperimentRow row;
   row.workload = workload.name;
   row.irregular = workload.irregular();
@@ -31,12 +41,14 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   const std::vector<const trace::LaunchTraceSource*> sources = workload.sources();
 
   // ---- One-time functional profiling (the GPUOcelot stage). ----
+  // Launches are profiled independently; slots are indexed by launch so the
+  // profile is identical for every jobs value.
   const auto tbp_start = Clock::now();
   profile::ApplicationProfile app_profile;
-  app_profile.launches.reserve(sources.size());
-  for (const trace::LaunchTraceSource* source : sources) {
-    app_profile.launches.push_back(profile::profile_launch(*source));
-  }
+  app_profile.launches.resize(sources.size());
+  par::parallel_for(sources.size(), options.jobs, [&](std::size_t i) {
+    app_profile.launches[i] = profile::profile_launch(*sources[i]);
+  });
   const double profile_seconds = seconds_since(tbp_start);
   row.total_warp_insts = app_profile.total_warp_insts();
 
@@ -47,19 +59,30 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   sim::GpuConfig full_config = config;
   full_config.fixed_unit_insts = row.unit_insts;
 
+  // Launch isolation is explicit: each launch gets its own freshly
+  // constructed GpuSimulator, so no cache/DRAM/queue state can leak from
+  // one launch into the next and the launches can simulate concurrently.
+  // (TBPoint's sampled launches start cold too, so sharing warmed state
+  // here would bias the ground truth the sampled runs are scored against.)
   const auto full_start = Clock::now();
-  sim::GpuSimulator full_sim(full_config);
+  std::vector<sim::LaunchResult> launch_results(sources.size());
+  par::parallel_for(sources.size(), options.jobs, [&](std::size_t i) {
+    sim::GpuSimulator launch_sim(full_config);
+    launch_results[i] = launch_sim.run_launch(*sources[i]);
+  });
+  // Serial merge in launch order: the unit list and the accumulated sums
+  // match the historical one-launch-at-a-time loop exactly.
   std::uint64_t full_cycles = 0;
   std::uint64_t full_insts = 0;
   std::vector<sim::FixedUnit> units;
-  for (const trace::LaunchTraceSource* source : sources) {
-    sim::LaunchResult result = full_sim.run_launch(*source);
+  for (sim::LaunchResult& result : launch_results) {
     full_cycles += result.cycles;
     full_insts += result.sim_warp_insts;
     units.insert(units.end(),
                  std::make_move_iterator(result.fixed_units.begin()),
                  std::make_move_iterator(result.fixed_units.end()));
   }
+  launch_results.clear();
   row.full_sim_seconds = seconds_since(full_start);
   row.full_ipc = full_cycles == 0 ? 0.0
                                   : static_cast<double>(full_insts) /
@@ -91,8 +114,10 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
 
   // ---- TBPoint: clustering + sampled simulation only. ----
   const auto tbp_sim_start = Clock::now();
+  core::TBPointOptions tbp_options = options.tbpoint;
+  tbp_options.jobs = options.jobs;
   const core::TBPointRun tbp =
-      core::run_tbpoint(sources, app_profile, config, options.tbpoint);
+      core::run_tbpoint(sources, app_profile, config, tbp_options);
   row.tbp_seconds = profile_seconds + seconds_since(tbp_sim_start);
   row.tbpoint.ipc = tbp.app.predicted_ipc;
   row.tbpoint.err_pct =

@@ -29,6 +29,13 @@ struct ComparisonOptions {
   std::size_t target_units = 120;
   std::uint64_t min_unit_insts = 4000;
   std::uint64_t max_unit_insts = 1u << 20;
+  /// Maximum concurrency for the independent launch simulations inside the
+  /// comparison (1 = serial).  Deliberately *not* part of the experiment
+  /// cache key: every jobs value produces bit-identical results (each
+  /// launch gets its own freshly constructed simulator and results are
+  /// collected by launch index, never by completion order) — only the
+  /// wall-clock timing fields vary.
+  std::size_t jobs = 1;
 };
 
 struct MethodResult {
@@ -60,11 +67,25 @@ struct ExperimentRow {
 
   double full_sim_seconds = 0.0;
   double tbp_seconds = 0.0;       ///< profile + cluster + sampled sims
+
+  /// True when this row was loaded from the on-disk result cache rather
+  /// than computed in this process.  The timing fields of a cached row are
+  /// wall-clock measurements from the *original* run (possibly a different
+  /// host, build, or jobs setting) — timing-consuming consumers must
+  /// re-time or annotate.  Never persisted; set by the cache loader.
+  bool from_cache = false;
 };
 
-/// Runs the full four-way comparison.  Deterministic for fixed inputs.
+/// Runs the full four-way comparison.  Deterministic for fixed inputs:
+/// every field except the wall-clock `*_seconds` measurements is
+/// bit-identical across runs and across `options.jobs` values.
 [[nodiscard]] ExperimentRow run_comparison(const workloads::Workload& workload,
                                            const sim::GpuConfig& config,
                                            const ComparisonOptions& options = {});
+
+/// Number of run_comparison calls that started in this process.  Test
+/// instrumentation: lets the once-per-key cache guard prove that N
+/// concurrent requests for one key cost one computation.
+[[nodiscard]] std::size_t run_comparison_invocations() noexcept;
 
 }  // namespace tbp::harness

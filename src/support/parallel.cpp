@@ -1,0 +1,137 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbp::par {
+
+std::size_t default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  const std::size_t n = std::max<std::size_t>(n_workers, 1);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!stop_ && "enqueue on a stopping ThreadPool");
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// The desired total concurrency and the lazily-created shared pool.  The
+// pool is intentionally leaked: bench binaries may still have detached
+// helper tasks referencing it during static destruction, and the OS
+// reclaims the threads at process exit anyway.
+std::mutex g_pool_mutex;
+std::size_t g_jobs = 0;  // 0 = not configured, use default_jobs()
+ThreadPool* g_pool = nullptr;
+
+}  // namespace
+
+void set_global_jobs(std::size_t jobs) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const std::size_t clamped = std::max<std::size_t>(jobs, 1);
+  if (g_jobs == clamped) return;
+  g_jobs = clamped;
+  if (g_pool != nullptr) {
+    // Resize: drain and join the old workers, then respawn.  The caller
+    // contract (no parallel work in flight) makes this safe.
+    delete g_pool;
+    g_pool = nullptr;
+  }
+}
+
+std::size_t global_jobs() noexcept { return g_jobs == 0 ? default_jobs() : g_jobs; }
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr) {
+    const std::size_t jobs = global_jobs();
+    g_pool = new ThreadPool(jobs <= 1 ? 1 : jobs - 1);
+  }
+  return *g_pool;
+}
+
+namespace detail {
+
+void ForBatch::drain() {
+  for (;;) {
+    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    // Once one iteration has thrown, remaining unstarted iterations are
+    // skipped (they still count as done so the caller can finish waiting).
+    if (!failed.load(std::memory_order_acquire)) {
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (error == nullptr) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      // Lock before notifying so the waiter cannot check the predicate and
+      // sleep between our increment and our notify (lost-wakeup guard).
+      std::lock_guard<std::mutex> lock(mutex);
+      cv.notify_all();
+    }
+  }
+}
+
+void run_parallel_for(std::size_t n, std::size_t jobs,
+                      std::function<void(std::size_t)> fn) {
+  auto batch = std::make_shared<ForBatch>(n, std::move(fn));
+  // jobs - 1 helpers; the caller is the jobs-th executor.  Helpers that
+  // arrive after the batch drained claim nothing and return immediately.
+  const std::size_t helpers = std::min(jobs, n) - 1;
+  ThreadPool& pool = global_pool();
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.enqueue([batch] { batch->drain(); });
+  }
+  batch->drain();
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->cv.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == batch->n;
+  });
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
+}
+
+}  // namespace detail
+
+}  // namespace tbp::par

@@ -110,6 +110,14 @@ TEST(HierarchicalTest, CutKProducesExactlyKClusters) {
   }
 }
 
+TEST(HierarchicalDeathTest, CutKZeroAbortsInAllBuilds) {
+  // cut_k(0) is a caller bug; without the release-build check it would
+  // silently keep every merge (one giant cluster) under NDEBUG.
+  const std::vector<FeatureVector> points = random_points(5, 8, 2);
+  const Dendrogram tree = agglomerate(points, Linkage::kAverage, Metric::kEuclidean);
+  EXPECT_DEATH((void)tree.cut_k(0), "k must be >= 1");
+}
+
 TEST(HierarchicalTest, MergeHeightsAreMonotoneAlongPaths) {
   // Single/complete/average linkage cannot produce inversions: every
   // merge's height must be >= the heights of the merges it joins.

@@ -13,6 +13,7 @@
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "sim/config.hpp"
+#include "support/parallel.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::harness {
@@ -112,6 +113,10 @@ TEST(CacheTest, RowRoundTrips) {
   ASSERT_TRUE(save_cached_row(dir, "test_key", row).ok());
   const auto loaded = load_cached_row(dir, "test_key");
   ASSERT_TRUE(loaded.has_value());
+  // Rows that come back from disk are marked; the marker itself is never
+  // persisted (the freshly built row above has from_cache == false).
+  EXPECT_FALSE(row.from_cache);
+  EXPECT_TRUE(loaded->from_cache);
   EXPECT_EQ(loaded->workload, "bfs");
   EXPECT_TRUE(loaded->irregular);
   EXPECT_EQ(loaded->n_launches, 14u);
@@ -214,6 +219,10 @@ TEST(CsvTest, EscapesSpecialCharacters) {
   EXPECT_EQ(csv_escape("plain"), "plain");
   EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
   EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+  // Bare \r splits rows for CRLF-aware readers; it must be quoted too.
+  EXPECT_EQ(csv_escape("with\rreturn"), "\"with\rreturn\"");
+  EXPECT_EQ(csv_escape("crlf\r\nrow"), "\"crlf\r\nrow\"");
 }
 
 TEST(CsvTest, WritesHeaderAndRows) {
@@ -228,6 +237,7 @@ TEST(CsvTest, WritesHeaderAndRows) {
   const std::string text = out.str();
   EXPECT_NE(text.find("workload,type"), std::string::npos);
   EXPECT_NE(text.find("tbpoint_err_pct"), std::string::npos);
+  EXPECT_NE(text.find("from_cache"), std::string::npos);
   EXPECT_NE(text.find("bfs,I,"), std::string::npos);
   // Exactly one header + one data line.
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
@@ -286,13 +296,22 @@ TEST(TableTest, GeomeanPct) {
 
 TEST(CliTest, ParsesCommonFlags) {
   const char* argv[] = {"prog", "--scale", "8",       "--seed",
-                        "42",   "--benchmarks", "bfs,mst", "--no-cache"};
+                        "42",   "--benchmarks", "bfs,mst", "--no-cache",
+                        "--jobs", "4"};
   const CommonFlags flags =
-      parse_common_flags(8, const_cast<char**>(argv));
+      parse_common_flags(10, const_cast<char**>(argv));
   EXPECT_EQ(flags.scale.divisor, 8u);
   EXPECT_EQ(flags.scale.seed, 42u);
   EXPECT_EQ(flags.benchmarks, (std::vector<std::string>{"bfs", "mst"}));
   EXPECT_TRUE(flags.cache_dir.empty());
+  EXPECT_EQ(flags.jobs, 4u);
+}
+
+TEST(CliTest, JobsDefaultsToHardwareConcurrency) {
+  const char* argv[] = {"prog"};
+  const CommonFlags flags = parse_common_flags(1, const_cast<char**>(argv));
+  EXPECT_GE(flags.jobs, 1u);
+  EXPECT_EQ(flags.jobs, par::default_jobs());
 }
 
 TEST(CliTest, DefaultsToAllBenchmarks) {

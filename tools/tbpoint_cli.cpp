@@ -11,9 +11,10 @@
 //   tbpoint_cli run      <workload> [--scale N] [--sms S] [--warps W]
 //                        [--inter-sigma X] [--intra-sigma X] [--vf X]
 //                        [--no-inter] [--no-intra] [--gto] [--validate]
+//                        [--jobs N]
 //       Full TBPoint pipeline; prints predicted IPC and sample size.
 //   tbpoint_cli compare  <workload> [--scale N] [--sms S] [--warps W]
-//                        [--validate]
+//                        [--validate] [--jobs N]
 //       Four-way Full / Random / Ideal-SimPoint / TBPoint comparison.
 //   tbpoint_cli lemma41  [--p X] [--m X] [--warps N] [--samples N]
 //       Markov-chain Monte-Carlo check of the paper's Lemma 4.1.
@@ -22,6 +23,9 @@
 // before simulating and fails with the violation report if a trace breaks
 // the simulator's contract.  All numeric flag values are parsed strictly:
 // malformed numbers are a usage error (exit 2), never silently zero.
+// --jobs N (default: hardware concurrency) bounds the parallelism of the
+// independent launch profiles/simulations; every value produces the same
+// numbers — only wall-clock changes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +44,7 @@
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
+#include "support/parallel.hpp"
 #include "trace/occupancy.hpp"
 #include "trace/validate.hpp"
 #include "workloads/workload.hpp"
@@ -76,6 +81,19 @@ std::uint32_t flag_u32(int argc, char** argv, const std::string& name,
   const Result<std::uint32_t> parsed = harness::parse_u32(v);
   if (!parsed.has_value()) bad_flag_value(name, parsed.status());
   return *parsed;
+}
+
+/// Strict --jobs parsing (default: hardware concurrency); also sizes the
+/// process-wide pool so nested parallel sections share one thread budget.
+std::size_t jobs_from_flags(int argc, char** argv) {
+  const std::uint32_t jobs = flag_u32(
+      argc, argv, "--jobs", static_cast<std::uint32_t>(par::default_jobs()));
+  if (jobs == 0) {
+    std::fprintf(stderr, "tbpoint_cli: invalid value for --jobs: must be >= 1\n");
+    std::exit(2);
+  }
+  par::set_global_jobs(jobs);
+  return jobs;
 }
 
 workloads::WorkloadScale scale_from_flags(int argc, char** argv) {
@@ -195,17 +213,21 @@ int cmd_regions(int argc, char** argv) {
 
 int cmd_run(int argc, char** argv) {
   if (argc < 3) usage();
+  const std::size_t jobs = jobs_from_flags(argc, argv);
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
   if (!validate_if_requested(argc, argv, workload)) return 1;
   const sim::GpuConfig config = config_from_flags(argc, argv);
 
+  const auto sources = workload.sources();
   profile::ApplicationProfile app;
-  for (const auto* source : workload.sources()) {
-    app.launches.push_back(profile::profile_launch(*source));
-  }
+  app.launches.resize(sources.size());
+  par::parallel_for(sources.size(), jobs, [&](std::size_t i) {
+    app.launches[i] = profile::profile_launch(*sources[i]);
+  });
 
   core::TBPointOptions options;
+  options.jobs = jobs;
   options.inter.distance_threshold = flag_double(argc, argv, "--inter-sigma", 0.1);
   options.intra.distance_threshold = flag_double(argc, argv, "--intra-sigma", 0.2);
   options.intra.variation_factor_threshold = flag_double(argc, argv, "--vf", 0.3);
@@ -233,11 +255,13 @@ int cmd_run(int argc, char** argv) {
 
 int cmd_compare(int argc, char** argv) {
   if (argc < 3) usage();
+  harness::ComparisonOptions options;
+  options.jobs = jobs_from_flags(argc, argv);
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
   if (!validate_if_requested(argc, argv, workload)) return 1;
   const harness::ExperimentRow row =
-      harness::run_comparison(workload, config_from_flags(argc, argv));
+      harness::run_comparison(workload, config_from_flags(argc, argv), options);
 
   harness::TablePrinter table({"method", "IPC", "error%", "sample%"});
   table.add_row({"Full", harness::fmt(row.full_ipc, 4), "-", "100"});
