@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,30 +24,84 @@
 #include "harness/csv.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "obs/export.hpp"
 #include "sim/config.hpp"
 #include "support/parallel.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::bench {
 
+/// Observation session for the --metrics/--trace flags; null when neither
+/// flag was passed (the common case — nothing is allocated or recorded).
+inline std::unique_ptr<obs::Observation> make_observation(
+    const harness::CommonFlags& flags) {
+  if (flags.metrics_path.empty() && flags.trace_path.empty()) return nullptr;
+  return std::make_unique<obs::Observation>(
+      /*metrics_on=*/!flags.metrics_path.empty(),
+      /*trace_on=*/!flags.trace_path.empty());
+}
+
+/// Writes the --metrics/--trace output files from `observe` (atomic writes;
+/// empty paths are skipped).
+inline void write_observation_outputs(const harness::CommonFlags& flags,
+                                      const obs::Observation& observe) {
+  if (!flags.metrics_path.empty()) {
+    const Status status =
+        obs::write_metrics_file(observe.merged_metrics(), flags.metrics_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "[bench] wrote %s\n", flags.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] %s\n", status.to_string().c_str());
+    }
+  }
+  if (!flags.trace_path.empty()) {
+    const std::vector<obs::TraceEvent> events = observe.merged_trace();
+    const Status status = obs::write_trace_file(events, flags.trace_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "[bench] wrote %s\n", flags.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] %s\n", status.to_string().c_str());
+    }
+  }
+}
+
 /// Collects one comparison row per requested benchmark under `config`.
+/// With --metrics/--trace set, the rows' simulations record into one
+/// observation session and the files are written before returning (each
+/// call rewrites them, so sweeps keep the last configuration's capture;
+/// cached rows record nothing — pass --no-cache to capture everything).
 inline std::vector<harness::ExperimentRow> collect_rows(
     const harness::CommonFlags& flags, const sim::GpuConfig& config,
     harness::ComparisonOptions options = {}) {
   par::set_global_jobs(flags.jobs);
   options.jobs = flags.jobs;
+  const std::unique_ptr<obs::Observation> observe = make_observation(flags);
   const std::vector<std::string>& names = flags.benchmark_list();
   std::vector<harness::ExperimentRow> rows(names.size());
   par::parallel_for(names.size(), flags.jobs, [&](std::size_t i) {
     std::fprintf(stderr, "[bench] %s ...\n", names[i].c_str());
-    rows[i] = harness::cached_comparison(names[i], flags.scale, config, options,
-                                         flags.cache_dir);
+    harness::ComparisonOptions row_options = options;
+    if (observe != nullptr) {
+      row_options.observe = observe.get();
+      // Disjoint pid windows keep each row's launch/representative
+      // timelines apart in a shared trace.
+      row_options.observe_pid_base = static_cast<std::uint32_t>(i) * 0x20000u;
+    }
+    rows[i] = harness::cached_comparison(names[i], flags.scale, config,
+                                         row_options, flags.cache_dir);
     if (rows[i].from_cache) {
       // Cached rows carry wall-clock timings from the original run.
       std::fprintf(stderr, "[bench] %s: cached row (timings from original run)\n",
                    names[i].c_str());
+      if (observe != nullptr) {
+        std::fprintf(stderr,
+                     "[bench] %s: cached row recorded no metrics/trace "
+                     "(pass --no-cache to capture)\n",
+                     names[i].c_str());
+      }
     }
   });
+  if (observe != nullptr) write_observation_outputs(flags, *observe);
   return rows;
 }
 

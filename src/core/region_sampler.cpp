@@ -10,8 +10,24 @@ RegionSampler::RegionSampler(const profile::LaunchProfile& launch,
                              const RegionSamplerOptions& options)
     : launch_(&launch), table_(&table), options_(options) {}
 
+void RegionSampler::end_phase_span(std::uint64_t cycle) {
+  if constexpr (obs::kEnabled) {
+    if (trace_ == nullptr || state_ == State::kNormal) return;
+    const char* name =
+        state_ == State::kWarming ? "warm-up" : "fast-forward";
+    trace_->complete(
+        name, "region", trace_pid_, trace_tid_, phase_start_cycle_,
+        cycle - phase_start_cycle_,
+        {{"region", obs::json_number(static_cast<std::uint64_t>(
+                        current_region_ < 0 ? 0 : current_region_))}});
+  } else {
+    (void)cycle;
+  }
+}
+
 sim::BlockAction RegionSampler::on_block_dispatch(std::uint32_t block_id,
                                                   std::uint64_t cycle) {
+  note_cycle(cycle);
   const int region = table_->region_of(block_id);
 
   if (state_ == State::kFastForward) {
@@ -36,6 +52,7 @@ sim::BlockAction RegionSampler::on_block_dispatch(std::uint32_t block_id,
       return sim::BlockAction::kSimulate;
     }
     // Exit: a block from outside the region arrived.
+    end_phase_span(cycle);
     skipped_.push_back(open_skip_);
     open_skip_ = SkippedRegion{};
     state_ = State::kNormal;
@@ -49,6 +66,7 @@ sim::BlockAction RegionSampler::on_block_dispatch(std::uint32_t block_id,
 
 void RegionSampler::on_block_retire(std::uint32_t block_id, std::uint64_t cycle,
                                     bool was_skipped) {
+  note_cycle(cycle);
   if (was_skipped) return;
   running_.erase(block_id);
   if (!running_.empty()) reevaluate_entry(cycle);
@@ -77,12 +95,18 @@ void RegionSampler::reevaluate_entry(std::uint64_t cycle) {
 
   if (entered) {
     if (state_ != State::kWarming || current_region_ != dominant) {
+      end_phase_span(cycle);  // a warming span for a different region
       state_ = State::kWarming;
       current_region_ = dominant;
       warm_ipcs_.clear();
       warming_since_cycle_ = cycle;
+      if constexpr (obs::kEnabled) {
+        phase_start_cycle_ = cycle;
+        ++warm_phases_;
+      }
     }
   } else if (state_ == State::kWarming) {
+    end_phase_span(cycle);
     state_ = State::kNormal;
     current_region_ = RegionTable::kNoRegion;
     warm_ipcs_.clear();
@@ -90,11 +114,13 @@ void RegionSampler::reevaluate_entry(std::uint64_t cycle) {
 }
 
 void RegionSampler::on_sampling_unit(const sim::SamplingUnit& unit) {
+  note_cycle(unit.end_cycle);
   if (state_ != State::kWarming) return;
   // Only units fully inside the warming period count: a unit that opened
   // before the region was entered mixes outside work into its IPC.
   if (unit.start_cycle < warming_since_cycle_) return;
 
+  if constexpr (obs::kEnabled) ++warm_units_;
   warm_ipcs_.push_back(unit.ipc());
   const std::size_t n = warm_ipcs_.size();
   bool stable = false;
@@ -107,6 +133,8 @@ void RegionSampler::on_sampling_unit(const sim::SamplingUnit& unit) {
   if (options_.max_warm_units != 0 && n >= options_.max_warm_units) stable = true;
   if (!stable) return;
 
+  end_phase_span(unit.end_cycle);  // warming ends where fast-forward begins
+  if constexpr (obs::kEnabled) phase_start_cycle_ = unit.end_cycle;
   state_ = State::kFastForward;
   open_skip_ = SkippedRegion{
       .region_id = current_region_,
@@ -119,11 +147,22 @@ void RegionSampler::on_sampling_unit(const sim::SamplingUnit& unit) {
 }
 
 void RegionSampler::finalize() {
+  end_phase_span(last_cycle_);  // close the trailing warm-up/fast-forward span
   if (state_ == State::kFastForward) {
     skipped_.push_back(open_skip_);
     open_skip_ = SkippedRegion{};
     state_ = State::kNormal;
     current_region_ = RegionTable::kNoRegion;
+  }
+  if constexpr (obs::kEnabled) {
+    if (metrics_ != nullptr) {
+      metrics_->add("core.sampler.regions_fast_forwarded", skipped_.size());
+      metrics_->add("core.sampler.skipped_blocks", total_skipped_blocks());
+      metrics_->add("core.sampler.skipped_warp_insts",
+                    total_skipped_warp_insts());
+      metrics_->add("core.sampler.warm_phases", warm_phases_);
+      metrics_->add("core.sampler.warm_units", warm_units_);
+    }
   }
 }
 

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/region.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "profile/profiler.hpp"
 #include "sim/controller.hpp"
 
@@ -77,6 +79,22 @@ class RegionSampler final : public sim::SimController {
   /// Flushes the in-progress fast-forward record; call after run_launch.
   void finalize();
 
+  /// Attaches observability (pure observers; see obs/metrics.hpp).  Either
+  /// side may be null.  Phase spans (warm-up, fast-forward) are drawn on
+  /// trace row (`pid`, `tid`) — callers use one synthetic row past the SM
+  /// rows of the same launch; sampler counters flush into `metrics` at
+  /// finalize().  No-op in a TBP_OBS-off build.
+  void attach_observation(obs::MetricsShard* metrics, obs::TraceBuffer* trace,
+                          std::uint32_t pid, std::uint32_t tid) {
+    if constexpr (obs::kEnabled) {
+      metrics_ = metrics;
+      trace_ = trace;
+      trace_pid_ = pid;
+      trace_tid_ = tid;
+      if (trace_ != nullptr) trace_->thread_name(pid, tid, "region-sampler");
+    }
+  }
+
   [[nodiscard]] std::span<const SkippedRegion> skipped_regions() const noexcept {
     return skipped_;
   }
@@ -88,6 +106,15 @@ class RegionSampler final : public sim::SimController {
 
  private:
   void reevaluate_entry(std::uint64_t cycle);
+
+  /// Closes the open warm-up/fast-forward trace span at `cycle` (no-op in
+  /// kNormal or without a trace buffer) — called on every phase transition.
+  void end_phase_span(std::uint64_t cycle);
+  /// Remembers the simulation time of the latest callback so finalize()
+  /// (which has no cycle argument) can close the trailing span.
+  void note_cycle(std::uint64_t cycle) noexcept {
+    if constexpr (obs::kEnabled) last_cycle_ = cycle;
+  }
 
   const profile::LaunchProfile* launch_;
   const RegionTable* table_;
@@ -101,6 +128,16 @@ class RegionSampler final : public sim::SimController {
   std::uint64_t warming_since_cycle_ = 0;
   SkippedRegion open_skip_;  ///< accumulating while fast-forwarding
   std::vector<SkippedRegion> skipped_;
+
+  // Observability (unused in a TBP_OBS-off build).
+  obs::MetricsShard* metrics_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  std::uint32_t trace_tid_ = 0;
+  std::uint64_t phase_start_cycle_ = 0;
+  std::uint64_t last_cycle_ = 0;
+  std::uint64_t warm_phases_ = 0;  ///< warming entries (incl. restarts)
+  std::uint64_t warm_units_ = 0;   ///< units that fed the stability test
 };
 
 }  // namespace tbp::core

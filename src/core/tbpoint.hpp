@@ -14,10 +14,13 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "core/inter_launch.hpp"
 #include "core/reconstruction.hpp"
 #include "core/region.hpp"
 #include "core/region_sampler.hpp"
+#include "obs/export.hpp"
 #include "profile/profiler.hpp"
 #include "sim/config.hpp"
 #include "sim/gpu.hpp"
@@ -37,6 +40,15 @@ struct TBPointOptions {
   /// bit-identical for every jobs value; jobs is therefore excluded from
   /// the experiment cache key.
   std::size_t jobs = 1;
+  /// Optional observability session (null = off).  Each representative
+  /// records into its own shard/buffer keyed
+  /// "<observe_key_prefix>tbp/rep/<r>", so parallel runs merge
+  /// deterministically; harness callers set the prefix to the workload name
+  /// to keep rows apart in one shared session.
+  obs::Observation* observe = nullptr;
+  std::string observe_key_prefix;
+  /// Base added to representative trace pids (see ComparisonOptions).
+  std::uint32_t observe_pid_base = 0;
 };
 
 /// Everything TBPoint did for one representative launch.

@@ -74,8 +74,19 @@ CommonFlags parse_common_flags(int argc, char** argv,
                                const std::vector<std::string>& extra_allowed) {
   CommonFlags flags;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept the --name=value spelling for every flag.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     const auto take_value = [&]() -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: missing value for %s\n", argv[0], arg.c_str());
         std::exit(2);
@@ -122,19 +133,27 @@ CommonFlags parse_common_flags(int argc, char** argv,
         std::exit(2);
       }
       flags.jobs = *jobs;
+    } else if (arg == "--metrics") {
+      flags.metrics_path = take_value();
+    } else if (arg == "--trace") {
+      flags.trace_path = take_value();
     } else {
       const bool allowed =
           std::any_of(extra_allowed.begin(), extra_allowed.end(),
                       [&](const std::string& a) { return a == arg; });
       if (allowed) {
         // Extra flags may take a value; skip it if it does not look like a
-        // flag itself.
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) ++i;
+        // flag itself (a --name=value flag already carries its own).
+        if (!has_inline && i + 1 < argc &&
+            std::strncmp(argv[i + 1], "--", 2) != 0) {
+          ++i;
+        }
         continue;
       }
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--seed S] [--benchmarks a,b,...] "
-                   "[--no-cache] [--cache-dir PATH] [--jobs N]\n",
+                   "[--no-cache] [--cache-dir PATH] [--jobs N] "
+                   "[--metrics PATH] [--trace PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -151,8 +170,16 @@ bool has_flag(int argc, char** argv, const std::string& flag) {
 
 std::string flag_value(int argc, char** argv, const std::string& name,
                        const std::string& fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (name == argv[i]) return argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (name == arg) {
+      if (i + 1 < argc) return argv[i + 1];
+      return fallback;
+    }
+    if (arg.size() > name.size() + 1 &&
+        arg.compare(0, name.size(), name) == 0 && arg[name.size()] == '=') {
+      return arg.substr(name.size() + 1);
+    }
   }
   return fallback;
 }

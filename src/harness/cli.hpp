@@ -10,6 +10,11 @@
 //                      (default: hardware concurrency; 1 = fully serial).
 //                      Results are bit-identical for every value; only
 //                      wall-clock changes.
+//   --metrics PATH     write merged simulator/sampler counters + histograms
+//                      as JSON (see DESIGN.md "Observability")
+//   --trace PATH       write a chrome://tracing timeline JSON
+//
+// Every flag also accepts the --name=value spelling.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +41,8 @@ struct CommonFlags {
   std::vector<std::string> benchmarks;  ///< empty = all 12
   std::string cache_dir = "tbpoint_cache";
   std::size_t jobs = par::default_jobs();  ///< strict-parsed --jobs, >= 1
+  std::string metrics_path;  ///< --metrics output file; empty = off
+  std::string trace_path;    ///< --trace output file; empty = off
 
   [[nodiscard]] const std::vector<std::string>& benchmark_list() const {
     return benchmarks.empty() ? workloads::workload_names() : benchmarks;
@@ -50,7 +57,7 @@ struct CommonFlags {
 /// True if `flag` (e.g. "--full") was passed.
 [[nodiscard]] bool has_flag(int argc, char** argv, const std::string& flag);
 
-/// Value of `--name value`, or `fallback`.
+/// Value of `--name value` or `--name=value`, or `fallback`.
 [[nodiscard]] std::string flag_value(int argc, char** argv, const std::string& name,
                                      const std::string& fallback);
 

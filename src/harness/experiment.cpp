@@ -68,7 +68,26 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   std::vector<sim::LaunchResult> launch_results(sources.size());
   par::parallel_for(sources.size(), options.jobs, [&](std::size_t i) {
     sim::GpuSimulator launch_sim(full_config);
-    launch_results[i] = launch_sim.run_launch(*sources[i]);
+    sim::RunOptions run_options;
+    if constexpr (obs::kEnabled) {
+      if (options.observe != nullptr) {
+        // Per-launch shard/buffer keyed by launch index: the merge order is
+        // the key order, so --jobs never changes the exported files.
+        const std::string key = row.workload + "/full/" + obs::key_index(i);
+        const std::uint32_t pid =
+            options.observe_pid_base + static_cast<std::uint32_t>(i);
+        run_options.observe = sim::LaunchObservation{
+            .metrics = options.observe->metrics_shard(key),
+            .trace = options.observe->trace_buffer(key),
+            .pid = pid,
+        };
+        if (run_options.observe.trace != nullptr) {
+          run_options.observe.trace->process_name(
+              pid, row.workload + ": full launch " + std::to_string(i));
+        }
+      }
+    }
+    launch_results[i] = launch_sim.run_launch(*sources[i], run_options);
   });
   // Serial merge in launch order: the unit list and the accumulated sums
   // match the historical one-launch-at-a-time loop exactly.
@@ -116,6 +135,13 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   const auto tbp_sim_start = Clock::now();
   core::TBPointOptions tbp_options = options.tbpoint;
   tbp_options.jobs = options.jobs;
+  if constexpr (obs::kEnabled) {
+    if (options.observe != nullptr) {
+      tbp_options.observe = options.observe;
+      tbp_options.observe_key_prefix = row.workload + "/";
+      tbp_options.observe_pid_base = options.observe_pid_base;
+    }
+  }
   const core::TBPointRun tbp =
       core::run_tbpoint(sources, app_profile, config, tbp_options);
   row.tbp_seconds = profile_seconds + seconds_since(tbp_sim_start);
@@ -125,6 +151,12 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   row.tbpoint.sample_pct = 100.0 * tbp.app.sample_fraction();
   row.inter_skip_share = tbp.app.inter_skip_share();
   row.tbp_clusters = tbp.inter.clusters.size();
+
+  if constexpr (obs::kEnabled) {
+    if (options.observe != nullptr && options.observe->metrics_on()) {
+      row.metrics = options.observe->merged_metrics(row.workload + "/");
+    }
+  }
 
   return row;
 }

@@ -11,6 +11,7 @@
 #include "baselines/random_sampling.hpp"
 #include "baselines/systematic_sampling.hpp"
 #include "core/tbpoint.hpp"
+#include "obs/export.hpp"
 #include "sim/config.hpp"
 #include "workloads/workload.hpp"
 
@@ -36,6 +37,14 @@ struct ComparisonOptions {
   /// collected by launch index, never by completion order) — only the
   /// wall-clock timing fields vary.
   std::size_t jobs = 1;
+  /// Optional observability session shared by every simulation this
+  /// comparison runs (null = off).  Shard/buffer keys are prefixed with the
+  /// workload name, so one session can span many rows; pure observers, so
+  /// the row's results are unchanged (and byte-identical) either way.
+  obs::Observation* observe = nullptr;
+  /// Base added to every trace pid this comparison emits, so rows sharing
+  /// one session keep distinct process groups in the trace viewer.
+  std::uint32_t observe_pid_base = 0;
 };
 
 struct MethodResult {
@@ -74,6 +83,11 @@ struct ExperimentRow {
   /// host, build, or jobs setting) — timing-consuming consumers must
   /// re-time or annotate.  Never persisted; set by the cache loader.
   bool from_cache = false;
+
+  /// Merged metrics recorded while computing this row (empty when
+  /// observability is off or the row was loaded from the cache).  Like the
+  /// timing fields, never persisted: metrics describe the computing run.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs the full four-way comparison.  Deterministic for fixed inputs:

@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tbp::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+bool Histogram::merge(const Histogram& other) noexcept {
+  if (bounds_ != other.bounds_) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  return true;
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+void MetricsShard::add(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+Histogram* MetricsShard::histogram(std::string_view name,
+                                   std::span<const std::uint64_t> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return &it->second;
+  return &histograms_
+              .emplace(std::string(name),
+                       Histogram({upper_bounds.begin(), upper_bounds.end()}))
+              .first->second;
+}
+
+std::optional<std::uint64_t> MetricsSnapshot::counter(
+    std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  if (it == counters.end() || it->first != name) return std::nullopt;
+  return it->second;
+}
+
+const Histogram* MetricsSnapshot::histogram_named(
+    std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const auto& entry, std::string_view n) { return entry.first < n; });
+  if (it == histograms.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+void MetricsSnapshot::absorb(const MetricsShard& shard) {
+  // Both sides are sorted by name; a merge walk keeps the snapshot sorted
+  // without re-sorting.  Counter sums commute, so absorbing shards in any
+  // fixed order yields identical bytes.
+  for (const auto& [name, value] : shard.counters()) {
+    const auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const auto& entry, const std::string& n) { return entry.first < n; });
+    if (it != counters.end() && it->first == name) {
+      it->second += value;
+    } else {
+      counters.insert(it, {name, value});
+    }
+  }
+  for (const auto& [name, hist] : shard.histograms()) {
+    const auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), name,
+        [](const auto& entry, const std::string& n) { return entry.first < n; });
+    if (it != histograms.end() && it->first == name) {
+      const bool merged = it->second.merge(hist);
+      assert(merged && "histogram bounds mismatch across shards");
+      (void)merged;
+    } else {
+      histograms.insert(it, {name, hist});
+    }
+  }
+}
+
+}  // namespace tbp::obs

@@ -52,6 +52,7 @@ void SetAssocCache::fill(std::uint64_t line) noexcept {
     }
     if (set[w].last_use < victim->last_use) victim = &set[w];
   }
+  if (victim->valid) ++stats_.evictions;
   victim->valid = true;
   victim->tag = line;
   victim->last_use = ++use_clock_;

@@ -15,6 +15,7 @@ namespace tbp::sim {
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< fills that displaced a valid line
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;

@@ -27,9 +27,11 @@ struct SamplingUnit {
   std::uint32_t end_block_id = 0;  ///< the designated block that closed it
 
   [[nodiscard]] double ipc() const noexcept {
+    // end <= start also covers a malformed unit whose end precedes its
+    // start, where the subtraction would wrap to ~2^64.
+    if (end_cycle <= start_cycle) return 0.0;
     const std::uint64_t span = end_cycle - start_cycle;
-    return span == 0 ? 0.0
-                     : static_cast<double>(warp_insts) / static_cast<double>(span);
+    return static_cast<double>(warp_insts) / static_cast<double>(span);
   }
 };
 

@@ -91,6 +91,9 @@ void DramChannel::tick(std::uint64_t cycle, std::vector<DramReply>& replies) {
 
   ++stats_.scheduling_decisions;
   stats_.queue_occupancy_sum += queued_ + 1;
+  if constexpr (obs::kEnabled) {
+    if (queue_depth_hist_ != nullptr) queue_depth_hist_->record(queued_ + 1);
+  }
   if (chosen_is_hit) {
     ++stats_.row_hits;
   } else {
@@ -151,6 +154,10 @@ DramStats DramSystem::aggregate_stats() const noexcept {
 
 void DramSystem::reset() {
   for (DramChannel& channel : channels_) channel.reset();
+}
+
+void DramSystem::set_queue_depth_histogram(obs::Histogram* hist) noexcept {
+  for (DramChannel& channel : channels_) channel.set_queue_depth_histogram(hist);
 }
 
 }  // namespace tbp::sim

@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/config.hpp"
 
 namespace tbp::sim {
@@ -70,6 +71,13 @@ class DramChannel {
   [[nodiscard]] const DramStats& stats() const noexcept { return stats_; }
   void reset();
 
+  /// Attaches a queue-depth histogram sampled once per FR-FCFS scheduling
+  /// decision (null detaches); channels of one simulator share one
+  /// histogram.  No-op in a TBP_OBS-off build.
+  void set_queue_depth_histogram(obs::Histogram* hist) noexcept {
+    if constexpr (obs::kEnabled) queue_depth_hist_ = hist;
+  }
+
  private:
   struct Bank {
     std::deque<DramRequest> queue;
@@ -95,6 +103,7 @@ class DramChannel {
   };
   std::priority_queue<DramReply, std::vector<DramReply>, Later> pending_;
   DramStats stats_;
+  obs::Histogram* queue_depth_hist_ = nullptr;
 };
 
 /// All channels; routes by line number.
@@ -108,6 +117,9 @@ class DramSystem {
   [[nodiscard]] bool busy() const noexcept;
   [[nodiscard]] DramStats aggregate_stats() const noexcept;
   void reset();
+
+  /// Forwards to every channel (they share the one histogram).
+  void set_queue_depth_histogram(obs::Histogram* hist) noexcept;
 
  private:
   std::uint32_t n_channels_;

@@ -85,6 +85,28 @@ class UnitTracker {
   std::uint64_t last_tail_insts_ = 0;
 };
 
+/// FR-FCFS queue-depth histogram bucket edges (requests at each scheduling
+/// decision; power-of-two spacing covers idle through saturated channels).
+constexpr std::uint64_t kQueueDepthBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+/// "sim.sm.NN." counter-name prefix, zero-padded so names sort by SM id.
+std::string sm_prefix(std::uint32_t sm_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "sim.sm.%02u.", sm_id);
+  return buf;
+}
+
+void flush_stall_stats(obs::MetricsShard& shard, const std::string& prefix,
+                       const SmStallStats& stats) {
+  shard.add(prefix + "issued_cycles", stats.issued_cycles);
+  shard.add(prefix + "stall.memory", stats.stall_memory);
+  shard.add(prefix + "stall.scoreboard", stats.stall_scoreboard);
+  shard.add(prefix + "stall.barrier", stats.stall_barrier);
+  shard.add(prefix + "stall.idle", stats.stall_idle);
+  shard.add(prefix + "stall.wedged", stats.stall_wedged);
+  shard.add(prefix + "stall.other", stats.stall_other);
+}
+
 }  // namespace
 
 std::string WatchdogDiagnostic::to_string() const {
@@ -160,6 +182,39 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
   std::optional<BlockAction> pending_action;
   std::vector<MemCompletion> completions;
 
+  // --- Observability (pure observers: nothing below feeds back into a
+  // timing decision, so attaching it never changes the simulation). -------
+  obs::MetricsShard* shard = nullptr;
+  obs::TraceBuffer* timeline = nullptr;
+  std::uint32_t trace_pid = 0;
+  std::vector<SmStallStats> stall_stats;
+  struct TbDispatch {
+    std::uint64_t cycle = 0;
+    std::uint32_t sm = 0;
+  };
+  std::vector<TbDispatch> tb_dispatch;  ///< by block id, trace capture only
+  if constexpr (obs::kEnabled) {
+    shard = options.observe.metrics;
+    timeline = options.observe.trace;
+    trace_pid = options.observe.pid;
+    if (shard != nullptr) {
+      stall_stats.resize(sms.size());
+      for (std::size_t s = 0; s < sms.size(); ++s) {
+        sms[s].enable_stall_accounting(&stall_stats[s]);
+      }
+      memory.set_queue_depth_histogram(
+          shard->histogram("sim.dram.queue_depth", kQueueDepthBounds));
+    }
+    if (timeline != nullptr) {
+      tb_dispatch.resize(n_blocks);
+      for (std::uint32_t s = 0; s < config_.n_sms; ++s) {
+        timeline->thread_name(trace_pid, s, "SM " + std::to_string(s));
+      }
+      // One synthetic row past the SMs for machine-wide unit boundaries.
+      timeline->thread_name(trace_pid, config_.n_sms, "sampling-units");
+    }
+  }
+
   // Forward-progress watchdog state: progress is an issued instruction, a
   // dispatched block, or a retired block.
   std::uint64_t retired_blocks = 0;
@@ -189,6 +244,14 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
     unit.warp_insts = meter.warp_insts - fixed_unit_start_insts;
     unit.thread_insts = meter.thread_insts - fixed_unit_start_threads;
     unit.bbv = meter.fixed_unit_bbv;
+    if constexpr (obs::kEnabled) {
+      if (timeline != nullptr) {
+        timeline->instant(
+            "fixed-unit " + std::to_string(result.fixed_units.size()), "unit",
+            trace_pid, config_.n_sms, now,
+            {{"warp_insts", obs::json_number(unit.warp_insts)}});
+      }
+    }
     result.fixed_units.push_back(std::move(unit));
     std::fill(meter.fixed_unit_bbv.begin(), meter.fixed_unit_bbv.end(), 0u);
     fixed_unit_start_cycle = now;
@@ -221,9 +284,11 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
         continue;
       }
       SmCore* target = nullptr;
-      for (SmCore& sm : sms) {
-        if (sm.has_free_slot()) {
-          target = &sm;
+      std::uint32_t target_sm = 0;
+      for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(sms.size()); ++s) {
+        if (sms[s].has_free_slot()) {
+          target = &sms[s];
+          target_sm = s;
           break;
         }
       }
@@ -231,6 +296,11 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
       pending_action.reset();
       target->dispatch_block(next_block, launch.block_trace(next_block), cycle);
       units.on_dispatch(next_block, cycle, meter);
+      if constexpr (obs::kEnabled) {
+        if (timeline != nullptr) {
+          tb_dispatch[next_block] = TbDispatch{.cycle = cycle, .sm = target_sm};
+        }
+      }
       ++next_block;
     }
 
@@ -246,6 +316,15 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
       for (std::uint32_t block_id : sm.retired()) {
         ++retired_blocks;
         controller->on_block_retire(block_id, cycle, /*was_skipped=*/false);
+        if constexpr (obs::kEnabled) {
+          if (timeline != nullptr) {
+            const TbDispatch& start = tb_dispatch[block_id];
+            timeline->complete(
+                "TB " + std::to_string(block_id), "tb", trace_pid, start.sm,
+                start.cycle, cycle - start.cycle,
+                {{"block", obs::json_number(std::uint64_t{block_id})}});
+          }
+        }
         SamplingUnit unit;
         if (units.on_retire(block_id, cycle, meter, unit)) {
           units.note_close(cycle, meter);
@@ -305,6 +384,49 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
     });
   }
   result.mem = memory.stats();
+
+  // Flush the accumulated struct counters into named metrics — once per
+  // launch, so the hot loops above never touched a string.
+  if constexpr (obs::kEnabled) {
+    if (shard != nullptr) {
+      SmStallStats machine;
+      for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(sms.size()); ++s) {
+        const SmStallStats& st = stall_stats[s];
+        flush_stall_stats(*shard, sm_prefix(s), st);
+        machine.issued_cycles += st.issued_cycles;
+        machine.stall_memory += st.stall_memory;
+        machine.stall_scoreboard += st.stall_scoreboard;
+        machine.stall_barrier += st.stall_barrier;
+        machine.stall_idle += st.stall_idle;
+        machine.stall_wedged += st.stall_wedged;
+        machine.stall_other += st.stall_other;
+      }
+      flush_stall_stats(*shard, "sim.", machine);
+
+      const MemoryStats& mem = result.mem;
+      shard->add("sim.l1.hits", mem.l1.hits);
+      shard->add("sim.l1.misses", mem.l1.misses);
+      shard->add("sim.l1.evictions", mem.l1.evictions);
+      shard->add("sim.l1.mshr_merges", mem.l1_mshr_merges);
+      shard->add("sim.l1.mshr_stalls", mem.l1_mshr_stalls);
+      shard->add("sim.l2.hits", mem.l2.hits);
+      shard->add("sim.l2.misses", mem.l2.misses);
+      shard->add("sim.l2.evictions", mem.l2.evictions);
+      shard->add("sim.l2.mshr_merges", mem.l2_mshr_merges);
+      shard->add("sim.dram.row_hits", mem.dram.row_hits);
+      shard->add("sim.dram.row_misses", mem.dram.row_misses);
+      shard->add("sim.dram.loads", mem.dram.loads);
+      shard->add("sim.dram.stores", mem.dram.stores);
+      shard->add("sim.dram.scheduling_decisions", mem.dram.scheduling_decisions);
+
+      shard->add("sim.launch.count", 1);
+      shard->add("sim.launch.cycles", result.cycles);
+      shard->add("sim.launch.warp_insts", result.sim_warp_insts);
+      shard->add("sim.launch.thread_insts", result.sim_thread_insts);
+      shard->add("sim.launch.blocks", n_blocks);
+      shard->add("sim.launch.skipped_blocks", result.skipped_blocks.size());
+    }
+  }
   return result;
 }
 

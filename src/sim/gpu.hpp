@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/config.hpp"
 #include "sim/controller.hpp"
 #include "sim/memory_system.hpp"
@@ -28,9 +30,12 @@ struct FixedUnit {
   std::vector<std::uint32_t> bbv;  ///< warp insts per static basic block
 
   [[nodiscard]] double ipc() const noexcept {
+    // end <= start covers both the degenerate zero-span unit and a
+    // malformed (e.g. default-initialised) unit whose end precedes its
+    // start; the unguarded subtraction would wrap to ~2^64 there.
+    if (end_cycle <= start_cycle) return 0.0;
     const std::uint64_t span = end_cycle - start_cycle;
-    return span == 0 ? 0.0
-                     : static_cast<double>(warp_insts) / static_cast<double>(span);
+    return static_cast<double>(warp_insts) / static_cast<double>(span);
   }
 };
 
@@ -77,6 +82,22 @@ struct WatchdogDiagnostic {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Observability hooks for one launch simulation.  Both sides are optional
+/// and pure observers: attaching them never changes a single simulated
+/// cycle, which is what keeps metrics-on and metrics-off runs bit-identical
+/// (tests/obs/observation_test.cpp holds the simulator to that).
+///
+/// The shard/buffer are single-threaded: parallel launch simulations each
+/// get their own (keyed by launch index through obs::Observation) and the
+/// merge afterwards is deterministic.
+struct LaunchObservation {
+  obs::MetricsShard* metrics = nullptr;  ///< null = counters off
+  obs::TraceBuffer* trace = nullptr;     ///< null = timeline capture off
+  /// Trace process id grouping this launch's timeline (launch index by
+  /// convention; tid within it is the SM id).
+  std::uint32_t pid = 0;
+};
+
 struct RunOptions {
   SimController* controller = nullptr;  ///< null = full simulation
   std::uint64_t max_cycles = 1ull << 40;  ///< hard cycle budget
@@ -85,6 +106,8 @@ struct RunOptions {
   /// deadlocked.  Real memory-bound stalls are thousands of cycles at worst,
   /// so the default leaves three orders of magnitude of headroom.
   std::uint64_t stall_cycle_limit = 1ull << 22;
+  /// Metrics/timeline capture; ignored entirely in a TBP_OBS-off build.
+  LaunchObservation observe;
 };
 
 class GpuSimulator {

@@ -179,6 +179,7 @@ MemoryStats MemorySystem::stats() const {
   for (const SetAssocCache& cache : l1_) {
     out.l1.hits += cache.stats().hits;
     out.l1.misses += cache.stats().misses;
+    out.l1.evictions += cache.stats().evictions;
   }
   out.l2 = l2_.stats();
   out.dram = dram_.aggregate_stats();

@@ -65,6 +65,11 @@ class MemorySystem {
   /// launches).
   void reset();
 
+  /// Attaches the DRAM FR-FCFS queue-depth histogram (see DramChannel).
+  void set_queue_depth_histogram(obs::Histogram* hist) noexcept {
+    dram_.set_queue_depth_histogram(hist);
+  }
+
  private:
   struct L1Mshr {
     std::vector<WarpToken> waiters;

@@ -17,6 +17,12 @@ void SmCore::configure_launch(std::uint32_t n_slots, std::uint32_t warps_per_blo
   free_slots_ = n_slots;
   slots_.assign(n_slots, BlockSlot{});
   warps_.assign(std::size_t{n_slots} * warps_per_block, WarpContext{});
+  if constexpr (obs::kEnabled) {
+    // Fresh contexts are all kDone; re-seed the population counts.
+    state_count_.fill(0);
+    state_count_[static_cast<std::size_t>(WarpState::kDone)] =
+        static_cast<std::uint32_t>(warps_.size());
+  }
   rr_cursor_ = 0;
   gto_current_ = ~0u;
   retired_.clear();
@@ -39,7 +45,7 @@ void SmCore::dispatch_block(std::uint32_t block_id, trace::BlockTrace trace,
     for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
       WarpContext& ctx = warps_[token_of(s, w)];
       ctx.pc = 0;
-      ctx.state = WarpState::kReady;
+      set_state(ctx, WarpState::kReady);
       ctx.ready_cycle = cycle;
       ctx.outstanding = 0;
     }
@@ -51,6 +57,45 @@ void SmCore::dispatch_block(std::uint32_t block_id, trace::BlockTrace trace,
 }
 
 void SmCore::issue(std::uint64_t cycle) {
+  if constexpr (obs::kEnabled) {
+    if (stall_ != nullptr) {
+      const std::uint64_t before = warp_insts_;
+      issue_impl(cycle);
+      account_cycle(/*issued=*/warp_insts_ != before);
+      return;
+    }
+  }
+  issue_impl(cycle);
+}
+
+void SmCore::account_cycle(bool issued) noexcept {
+  if (issued) {
+    ++stall_->issued_cycles;
+    return;
+  }
+  const auto in_state = [this](WarpState s) {
+    return state_count_[static_cast<std::size_t>(s)] > 0;
+  };
+  // No issue this cycle: attribute the bubble to the most actionable cause.
+  // Memory first (the stall the paper's M distribution models), then the
+  // dependence/latency wait, then barriers; an SM with no resident blocks
+  // is idle regardless of leftover context states.
+  if (free_slots_ == static_cast<std::uint32_t>(slots_.size())) {
+    ++stall_->stall_idle;
+  } else if (in_state(WarpState::kWaitMem)) {
+    ++stall_->stall_memory;
+  } else if (in_state(WarpState::kWaitLatency)) {
+    ++stall_->stall_scoreboard;
+  } else if (in_state(WarpState::kWaitBarrier)) {
+    ++stall_->stall_barrier;
+  } else if (in_state(WarpState::kWedged)) {
+    ++stall_->stall_wedged;
+  } else {
+    ++stall_->stall_other;
+  }
+}
+
+void SmCore::issue_impl(std::uint64_t cycle) {
   if (cycle < earliest_ready_) return;
   const std::uint32_t n_contexts = static_cast<std::uint32_t>(warps_.size());
   if (n_contexts == 0) return;
@@ -63,7 +108,7 @@ void SmCore::issue(std::uint64_t cycle) {
     WarpContext& ctx = warps_[idx];
     if (ctx.state == WarpState::kWaitLatency) {
       if (ctx.ready_cycle <= cycle) {
-        ctx.state = WarpState::kReady;
+        set_state(ctx, WarpState::kReady);
       } else {
         min_pending = std::min(min_pending, ctx.ready_cycle);
       }
@@ -121,7 +166,7 @@ void SmCore::issue(std::uint64_t cycle) {
     // it permanently instead of reading past the stream; the block can never
     // retire, so the launch-level watchdog reports the wedge as a
     // structured deadlock diagnostic rather than this being UB.
-    ctx.state = WarpState::kWedged;
+    set_state(ctx, WarpState::kWedged);
     return;
   }
   const auto& stream = streams[warp_idx];
@@ -145,19 +190,19 @@ void SmCore::execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
 
   switch (inst.op) {
     case trace::Op::kIntAlu:
-      ctx.state = WarpState::kWaitLatency;
+      set_state(ctx, WarpState::kWaitLatency);
       ctx.ready_cycle = cycle + lat.int_alu;
       break;
     case trace::Op::kFloatAlu:
-      ctx.state = WarpState::kWaitLatency;
+      set_state(ctx, WarpState::kWaitLatency);
       ctx.ready_cycle = cycle + lat.float_alu;
       break;
     case trace::Op::kSfu:
-      ctx.state = WarpState::kWaitLatency;
+      set_state(ctx, WarpState::kWaitLatency);
       ctx.ready_cycle = cycle + lat.sfu;
       break;
     case trace::Op::kLoadShared:
-      ctx.state = WarpState::kWaitLatency;
+      set_state(ctx, WarpState::kWaitLatency);
       ctx.ready_cycle = cycle + lat.shared_mem;
       break;
     case trace::Op::kLoadGlobal: {
@@ -170,10 +215,10 @@ void SmCore::execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
         }
       }
       if (misses == 0) {
-        ctx.state = WarpState::kWaitLatency;
+        set_state(ctx, WarpState::kWaitLatency);
         ctx.ready_cycle = cycle + lat.l1_hit;
       } else {
-        ctx.state = WarpState::kWaitMem;
+        set_state(ctx, WarpState::kWaitMem);
         ctx.outstanding = misses;
       }
       break;
@@ -184,16 +229,16 @@ void SmCore::execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
             inst.mem.base_line + std::uint64_t{i} * inst.mem.line_stride;
         memory_->store(sm_id_, line, cycle);
       }
-      ctx.state = WarpState::kWaitLatency;
+      set_state(ctx, WarpState::kWaitLatency);
       ctx.ready_cycle = cycle + lat.store_issue;
       break;
     case trace::Op::kBarrier:
-      ctx.state = WarpState::kWaitBarrier;
+      set_state(ctx, WarpState::kWaitBarrier);
       ++slot.barrier_waiting;
       release_barrier_if_ready(slot, slot_idx, cycle);
       break;
     case trace::Op::kExit:
-      ctx.state = WarpState::kDone;
+      set_state(ctx, WarpState::kDone);
       assert(slot.live_warps > 0);
       --slot.live_warps;
       if (slot.live_warps == 0) {
@@ -211,7 +256,7 @@ void SmCore::release_barrier_if_ready(BlockSlot& slot, std::uint32_t slot_idx,
   for (std::uint32_t w = 0; w < warps_per_block_; ++w) {
     WarpContext& ctx = warps_[token_of(slot_idx, w)];
     if (ctx.state == WarpState::kWaitBarrier) {
-      ctx.state = WarpState::kWaitLatency;
+      set_state(ctx, WarpState::kWaitLatency);
       ctx.ready_cycle = cycle + 1;
     }
   }
@@ -252,7 +297,7 @@ void SmCore::on_mem_complete(WarpToken token, std::uint64_t cycle) {
   assert(ctx.outstanding > 0);
   --ctx.outstanding;
   if (ctx.outstanding == 0 && ctx.state == WarpState::kWaitMem) {
-    ctx.state = WarpState::kReady;
+    set_state(ctx, WarpState::kReady);
     // Completions are delivered after this cycle's issue phase, so the
     // earliest the warp can actually issue is the next cycle.
     earliest_ready_ = std::min(earliest_ready_, cycle + 1);

@@ -5,14 +5,39 @@
 // the load/store unit that expands coalesced footprints into line requests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/config.hpp"
 #include "sim/memory_system.hpp"
 #include "trace/kernel.hpp"
 
 namespace tbp::sim {
+
+/// Per-SM issue/stall cycle breakdown: every simulated cycle is attributed
+/// to exactly one bucket, so the buckets sum to the launch's cycle count
+/// and "where did the time go" is answerable per SM (the per-interval view
+/// the paper's Eq. 5 stall probabilities aggregate away).  Filled only when
+/// stall accounting is enabled (see SmCore::enable_stall_accounting).
+struct SmStallStats {
+  std::uint64_t issued_cycles = 0;   ///< a warp instruction issued
+  std::uint64_t stall_memory = 0;    ///< >=1 warp waiting on an outstanding fill
+  /// Dependence wait: the serialized in-order dependence model (our
+  /// scoreboard equivalent) holds every warp until its previous
+  /// instruction's latency expires.
+  std::uint64_t stall_scoreboard = 0;
+  std::uint64_t stall_barrier = 0;   ///< all non-done warps parked at a barrier
+  std::uint64_t stall_idle = 0;      ///< empty slots: no resident blocks
+  std::uint64_t stall_wedged = 0;    ///< only wedged warps left (malformed trace)
+  std::uint64_t stall_other = 0;     ///< none of the above (defensive bucket)
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return issued_cycles + stall_memory + stall_scoreboard + stall_barrier +
+           stall_idle + stall_wedged + stall_other;
+  }
+};
 
 /// Snapshot of one SM's scheduling state, taken by the watchdog when a
 /// launch stops making forward progress.  Warp counts are per state, so a
@@ -64,6 +89,15 @@ class SmCore {
   /// Issues at most one warp instruction this cycle.
   void issue(std::uint64_t cycle);
 
+  /// Attaches per-cycle issue/stall-cause accounting writing into `out`
+  /// (null detaches).  `out` must outlive the SM or the next call.  In a
+  /// build with TBP_OBS off this is a no-op and issue() carries no
+  /// accounting code at all; with it on but detached, the only cost is one
+  /// null check per cycle.
+  void enable_stall_accounting(SmStallStats* out) noexcept {
+    if constexpr (obs::kEnabled) stall_ = out;
+  }
+
   void on_mem_complete(WarpToken token, std::uint64_t cycle);
 
   /// Blocks that retired since the last drain (in retirement order).
@@ -111,6 +145,20 @@ class SmCore {
     return slot * warps_per_block_ + warp;
   }
 
+  /// Every warp-state transition funnels through here so the per-state
+  /// population counts stay exact; with TBP_OBS off this collapses to the
+  /// bare assignment.
+  void set_state(WarpContext& ctx, WarpState next) noexcept {
+    if constexpr (obs::kEnabled) {
+      --state_count_[static_cast<std::size_t>(ctx.state)];
+      ++state_count_[static_cast<std::size_t>(next)];
+    }
+    ctx.state = next;
+  }
+
+  void issue_impl(std::uint64_t cycle);
+  void account_cycle(bool issued) noexcept;
+
   void execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
                const trace::WarpInst& inst, std::uint64_t cycle);
   void release_barrier_if_ready(BlockSlot& slot, std::uint32_t slot_idx,
@@ -138,6 +186,13 @@ class SmCore {
 
   std::uint64_t warp_insts_ = 0;
   std::uint64_t thread_insts_ = 0;
+
+  /// Warp-context population per WarpState (6 states), maintained
+  /// incrementally by set_state so stalled cycles classify in O(1) instead
+  /// of O(warps).  Counts cover all contexts; only active slots ever hold
+  /// non-kDone states, so the wait counts are exact for classification.
+  std::array<std::uint32_t, 6> state_count_{};
+  SmStallStats* stall_ = nullptr;  ///< null = accounting off
 };
 
 }  // namespace tbp::sim

@@ -1,0 +1,146 @@
+// Unit tests for the metrics registry primitives: histogram bucketing and
+// merge semantics, shard counter/histogram accumulation, and the
+// deterministic snapshot merge the --jobs contract leans on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace tbp::obs {
+namespace {
+
+TEST(HistogramTest, BucketsValuesByUpperBound) {
+  Histogram h({10, 100, 1000});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+
+  h.record(0);     // <= 10
+  h.record(10);    // <= 10 (bounds are inclusive)
+  h.record(11);    // <= 100
+  h.record(100);   // <= 100
+  h.record(101);   // <= 1000
+  h.record(1000);  // <= 1000
+  h.record(1001);  // overflow
+
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(HistogramTest, MergeSumsBucketwise) {
+  Histogram a({4, 16});
+  Histogram b({4, 16});
+  a.record(1);
+  a.record(100);
+  b.record(1);
+  b.record(8);
+
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.counts()[0], 2u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.counts()[2], 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBounds) {
+  Histogram a({4, 16});
+  Histogram b({4, 32});
+  a.record(1);
+  b.record(1);
+  EXPECT_FALSE(a.merge(b));
+  // Nothing was merged.
+  EXPECT_EQ(a.total(), 1u);
+}
+
+TEST(MetricsShardTest, CountersAccumulate) {
+  MetricsShard shard;
+  shard.add("a", 1);
+  shard.add("b", 10);
+  shard.add("a", 2);
+  ASSERT_EQ(shard.counters().size(), 2u);
+  EXPECT_EQ(shard.counters().at("a"), 3u);
+  EXPECT_EQ(shard.counters().at("b"), 10u);
+}
+
+TEST(MetricsShardTest, HistogramPointerIsStable) {
+  MetricsShard shard;
+  const std::uint64_t bounds[] = {1, 2, 4};
+  Histogram* first = shard.histogram("depth", bounds);
+  ASSERT_NE(first, nullptr);
+  first->record(3);
+  // Creating unrelated entries must not invalidate the pointer (hot loops
+  // hold it for the whole launch).
+  for (int i = 0; i < 64; ++i) {
+    shard.add("counter." + std::to_string(i), 1);
+    (void)shard.histogram("hist." + std::to_string(i), bounds);
+  }
+  Histogram* again = shard.histogram("depth", bounds);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(again->total(), 1u);
+}
+
+TEST(MetricsSnapshotTest, AbsorbMergesShards) {
+  const std::uint64_t bounds[] = {8, 64};
+  MetricsShard s1;
+  s1.add("shared", 5);
+  s1.add("only_first", 1);
+  s1.histogram("h", bounds)->record(3);
+
+  MetricsShard s2;
+  s2.add("shared", 7);
+  s2.histogram("h", bounds)->record(100);
+
+  MetricsSnapshot snap;
+  snap.absorb(s1);
+  snap.absorb(s2);
+
+  EXPECT_EQ(snap.counter("shared"), std::uint64_t{12});
+  EXPECT_EQ(snap.counter("only_first"), std::uint64_t{1});
+  EXPECT_EQ(snap.counter("missing"), std::nullopt);
+
+  const Histogram* h = snap.histogram_named("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total(), 2u);
+  EXPECT_EQ(h->counts()[0], 1u);
+  EXPECT_EQ(h->counts()[2], 1u);  // overflow bucket
+  EXPECT_EQ(snap.histogram_named("missing"), nullptr);
+}
+
+TEST(MetricsSnapshotTest, JsonIsSortedAndStable) {
+  MetricsShard shard;
+  shard.add("zeta", 1);
+  shard.add("alpha", 2);
+  const std::uint64_t bounds[] = {1};
+  shard.histogram("h", bounds)->record(0);
+
+  MetricsSnapshot snap;
+  snap.absorb(shard);
+  const std::string json = metrics_to_json(snap);
+  // Sorted name order means equal snapshots render to equal bytes.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [1]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0]"), std::string::npos);
+
+  // Absorbing the same shard into a fresh snapshot renders identically.
+  MetricsSnapshot again;
+  again.absorb(shard);
+  EXPECT_EQ(metrics_to_json(again), json);
+}
+
+TEST(KeyIndexTest, ZeroPaddedKeysSortNumerically) {
+  EXPECT_EQ(key_index(0), "000000");
+  EXPECT_EQ(key_index(3), "000003");
+  EXPECT_EQ(key_index(42), "000042");
+  EXPECT_LT(key_index(9), key_index(10));   // string order == numeric order
+  EXPECT_LT(key_index(99), key_index(100));
+}
+
+}  // namespace
+}  // namespace tbp::obs

@@ -1,0 +1,99 @@
+// Edge cases for the IPC accessors: zero-span and malformed (end before
+// start) units must report 0 instead of dividing by zero or wrapping the
+// unsigned subtraction to ~2^64, and values near the uint64 range must stay
+// finite through the double conversion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sim/controller.hpp"
+#include "sim/gpu.hpp"
+
+namespace tbp::sim {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(FixedUnitIpcTest, ZeroSpanIsZero) {
+  FixedUnit unit;
+  unit.start_cycle = 100;
+  unit.end_cycle = 100;
+  unit.warp_insts = 50;
+  EXPECT_EQ(unit.ipc(), 0.0);
+}
+
+TEST(FixedUnitIpcTest, EndBeforeStartIsZeroNotWrapped) {
+  FixedUnit unit;
+  unit.start_cycle = 200;
+  unit.end_cycle = 100;  // malformed: the subtraction would wrap to ~2^64
+  unit.warp_insts = 50;
+  EXPECT_EQ(unit.ipc(), 0.0);
+}
+
+TEST(FixedUnitIpcTest, NormalSpan) {
+  FixedUnit unit;
+  unit.start_cycle = 100;
+  unit.end_cycle = 300;
+  unit.warp_insts = 500;
+  EXPECT_DOUBLE_EQ(unit.ipc(), 2.5);
+}
+
+TEST(FixedUnitIpcTest, OverflowAdjacentValuesStayFinite) {
+  FixedUnit unit;
+  unit.start_cycle = 0;
+  unit.end_cycle = kMax;
+  unit.warp_insts = kMax;
+  const double ipc = unit.ipc();
+  EXPECT_TRUE(std::isfinite(ipc));
+  EXPECT_NEAR(ipc, 1.0, 1e-9);
+
+  unit.end_cycle = 1;  // span 1, maximal insts: huge but finite
+  EXPECT_TRUE(std::isfinite(unit.ipc()));
+  EXPECT_GT(unit.ipc(), 1e18);
+}
+
+TEST(SamplingUnitIpcTest, ZeroSpanIsZero) {
+  SamplingUnit unit;
+  unit.start_cycle = 7;
+  unit.end_cycle = 7;
+  unit.warp_insts = 10;
+  EXPECT_EQ(unit.ipc(), 0.0);
+}
+
+TEST(SamplingUnitIpcTest, EndBeforeStartIsZeroNotWrapped) {
+  SamplingUnit unit;
+  unit.start_cycle = kMax;
+  unit.end_cycle = 0;
+  unit.warp_insts = 10;
+  EXPECT_EQ(unit.ipc(), 0.0);
+}
+
+TEST(SamplingUnitIpcTest, NormalSpan) {
+  SamplingUnit unit;
+  unit.start_cycle = 10;
+  unit.end_cycle = 20;
+  unit.warp_insts = 5;
+  EXPECT_DOUBLE_EQ(unit.ipc(), 0.5);
+}
+
+TEST(MachineIpcTest, ZeroCyclesIsZero) {
+  LaunchResult result;
+  result.cycles = 0;
+  result.sim_warp_insts = 123;
+  EXPECT_EQ(result.machine_ipc(), 0.0);
+}
+
+TEST(MachineIpcTest, OverflowAdjacentValuesStayFinite) {
+  LaunchResult result;
+  result.cycles = 1;
+  result.sim_warp_insts = kMax;
+  EXPECT_TRUE(std::isfinite(result.machine_ipc()));
+  result.cycles = kMax;
+  result.sim_warp_insts = kMax;
+  EXPECT_NEAR(result.machine_ipc(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tbp::sim

@@ -16,8 +16,22 @@
 //   tbpoint_cli compare  <workload> [--scale N] [--sms S] [--warps W]
 //                        [--validate] [--jobs N]
 //       Four-way Full / Random / Ideal-SimPoint / TBPoint comparison.
+//   tbpoint_cli simulate <workload> [--launch N] [--scale N] [--sms S]
+//                        [--warps W] [--gto] [--max-cycles N]
+//                        [--stall-limit N] [--validate]
+//       Plain full simulation (all launches, or one with --launch),
+//       printing per-launch cycles and IPC.  A deadlocked or over-budget
+//       launch prints the watchdog diagnostic (stall age, dispatch
+//       progress, per-SM warp scheduling states) instead of aborting.
 //   tbpoint_cli lemma41  [--p X] [--m X] [--warps N] [--samples N]
 //       Markov-chain Monte-Carlo check of the paper's Lemma 4.1.
+//
+// run, compare and simulate accept --metrics PATH and --trace PATH
+// (--name=value also works): --metrics writes the merged counters and
+// histograms (per-SM stall-cause breakdown, cache/DRAM counters, DRAM
+// queue-depth histogram) as JSON; --trace writes a chrome://tracing
+// timeline (open in Perfetto) with thread-block spans per SM, fixed-unit
+// boundaries and the region sampler's warm-up/fast-forward phases.
 //
 // --validate runs trace::validate_launch over every launch of the workload
 // before simulating and fails with the violation report if a trace breaks
@@ -29,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +52,7 @@
 #include "core/region_io.hpp"
 #include "core/tbpoint.hpp"
 #include "harness/cli.hpp"
+#include "obs/export.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "markov/monte_carlo.hpp"
@@ -55,7 +71,8 @@ using namespace tbp;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: tbpoint_cli <list|profile|regions|run|compare|lemma41> "
+               "usage: tbpoint_cli "
+               "<list|profile|regions|run|compare|simulate|lemma41> "
                "[args...]\n(see the header of tools/tbpoint_cli.cpp)\n");
   std::exit(2);
 }
@@ -82,6 +99,68 @@ std::uint32_t flag_u32(int argc, char** argv, const std::string& name,
   if (!parsed.has_value()) bad_flag_value(name, parsed.status());
   return *parsed;
 }
+
+std::uint64_t flag_u64(int argc, char** argv, const std::string& name,
+                       std::uint64_t fb) {
+  const std::string v = harness::flag_value(argc, argv, name, "");
+  if (v.empty()) return fb;
+  const Result<std::uint64_t> parsed = harness::parse_u64(v);
+  if (!parsed.has_value()) bad_flag_value(name, parsed.status());
+  return *parsed;
+}
+
+/// The --metrics/--trace session for one subcommand; `session` is null when
+/// neither flag was passed, so simulations record nothing.
+struct CliObservation {
+  std::string metrics_path;
+  std::string trace_path;
+  std::unique_ptr<obs::Observation> session;
+
+  static CliObservation from_flags(int argc, char** argv) {
+    CliObservation out;
+    out.metrics_path = harness::flag_value(argc, argv, "--metrics", "");
+    out.trace_path = harness::flag_value(argc, argv, "--trace", "");
+    if (!out.metrics_path.empty() || !out.trace_path.empty()) {
+      out.session = std::make_unique<obs::Observation>(
+          /*metrics_on=*/!out.metrics_path.empty(),
+          /*trace_on=*/!out.trace_path.empty());
+    }
+    return out;
+  }
+
+  [[nodiscard]] obs::Observation* get() const noexcept { return session.get(); }
+
+  /// Writes the requested files; returns false after printing on failure.
+  [[nodiscard]] bool write() const {
+    if (session == nullptr) return true;
+    bool ok = true;
+    if (!metrics_path.empty()) {
+      const Status st =
+          obs::write_metrics_file(session->merged_metrics(), metrics_path);
+      if (st.ok()) {
+        std::printf("wrote metrics %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s: %s\n", metrics_path.c_str(),
+                     st.to_string().c_str());
+        ok = false;
+      }
+    }
+    if (!trace_path.empty()) {
+      const std::vector<obs::TraceEvent> events = session->merged_trace();
+      const Status st = obs::write_trace_file(events, trace_path);
+      if (st.ok()) {
+        std::printf("wrote trace %s (%zu events; open in chrome://tracing "
+                    "or https://ui.perfetto.dev)\n",
+                    trace_path.c_str(), events.size());
+      } else {
+        std::fprintf(stderr, "cannot write %s: %s\n", trace_path.c_str(),
+                     st.to_string().c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
 
 /// Strict --jobs parsing (default: hardware concurrency); also sizes the
 /// process-wide pool so nested parallel sections share one thread budget.
@@ -235,6 +314,10 @@ int cmd_run(int argc, char** argv) {
   options.enable_intra = !harness::has_flag(argc, argv, "--no-intra");
   options.inter.include_bbv = harness::has_flag(argc, argv, "--bbv");
 
+  const CliObservation observation = CliObservation::from_flags(argc, argv);
+  options.observe = observation.get();
+  options.observe_key_prefix = workload.name + "/";
+
   const core::TBPointRun run =
       core::run_tbpoint(workload.sources(), app, config, options);
   std::printf("%s: %zu launch clusters, %zu representatives\n",
@@ -250,7 +333,7 @@ int cmd_run(int argc, char** argv) {
               run.app.predicted_ipc, 100.0 * run.app.sample_fraction(),
               100.0 * run.app.inter_skip_share(),
               100.0 * (1.0 - run.app.inter_skip_share()));
-  return 0;
+  return observation.write() ? 0 : 1;
 }
 
 int cmd_compare(int argc, char** argv) {
@@ -260,6 +343,8 @@ int cmd_compare(int argc, char** argv) {
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
   if (!validate_if_requested(argc, argv, workload)) return 1;
+  const CliObservation observation = CliObservation::from_flags(argc, argv);
+  options.observe = observation.get();
   const harness::ExperimentRow row =
       harness::run_comparison(workload, config_from_flags(argc, argv), options);
 
@@ -280,7 +365,97 @@ int cmd_compare(int argc, char** argv) {
   table.print();
   std::printf("full sim %.2fs; TBPoint %.2fs\n", row.full_sim_seconds,
               row.tbp_seconds);
-  return 0;
+  return observation.write() ? 0 : 1;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::size_t jobs = jobs_from_flags(argc, argv);
+  (void)jobs;  // launches run serially here so diagnostics print in order
+  const workloads::Workload workload =
+      workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+  if (!validate_if_requested(argc, argv, workload)) return 1;
+  const sim::GpuConfig config = config_from_flags(argc, argv);
+  const CliObservation observation = CliObservation::from_flags(argc, argv);
+
+  sim::RunOptions base_options;
+  base_options.max_cycles =
+      flag_u64(argc, argv, "--max-cycles", base_options.max_cycles);
+  base_options.stall_cycle_limit =
+      flag_u64(argc, argv, "--stall-limit", base_options.stall_cycle_limit);
+
+  const auto sources = workload.sources();
+  std::size_t first = 0;
+  std::size_t last = sources.size();
+  if (const std::string sel = harness::flag_value(argc, argv, "--launch", "");
+      !sel.empty()) {
+    const Result<std::uint64_t> index = harness::parse_u64(sel);
+    if (!index.has_value()) bad_flag_value("--launch", index.status());
+    if (*index >= sources.size()) {
+      std::fprintf(stderr, "simulate: --launch %llu out of range (%zu launches)\n",
+                   static_cast<unsigned long long>(*index), sources.size());
+      return 2;
+    }
+    first = static_cast<std::size_t>(*index);
+    last = first + 1;
+  }
+
+  int exit_code = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    sim::RunOptions options = base_options;
+    if (observation.get() != nullptr) {
+      const std::string key = workload.name + "/full/" + obs::key_index(i);
+      const std::uint32_t pid = static_cast<std::uint32_t>(i);
+      options.observe = sim::LaunchObservation{
+          .metrics = observation.get()->metrics_shard(key),
+          .trace = observation.get()->trace_buffer(key),
+          .pid = pid,
+      };
+      if (options.observe.trace != nullptr) {
+        options.observe.trace->process_name(
+            pid, workload.name + ": launch " + std::to_string(i));
+      }
+    }
+
+    sim::GpuSimulator simulator(config);
+    sim::WatchdogDiagnostic diagnostic;
+    const Result<sim::LaunchResult> result =
+        simulator.run_launch_checked(*sources[i], options, &diagnostic);
+    if (!result.has_value()) {
+      std::fprintf(stderr, "launch %zu: %s\n", i,
+                   result.status().to_string().c_str());
+      if (diagnostic.triggered) {
+        // The structured diagnostic, human-readably: how long the machine
+        // has been wedged, how far dispatch got, and which warps are stuck.
+        std::fprintf(stderr,
+                     "launch %zu watchdog: no forward progress for %llu "
+                     "cycles (cycle %llu, %u/%u blocks dispatched)\n",
+                     i, static_cast<unsigned long long>(diagnostic.stalled_cycles),
+                     static_cast<unsigned long long>(diagnostic.cycle),
+                     diagnostic.dispatched_blocks, diagnostic.n_blocks);
+        for (const sim::SmDebugState& sm : diagnostic.sms) {
+          if (sm.warps_wedged == 0) continue;
+          std::fprintf(stderr,
+                       "  SM %u: %u wedged warp(s) — trace ended without "
+                       "kExit; re-run with --validate to pinpoint the launch\n",
+                       sm.sm_id, sm.warps_wedged);
+        }
+      }
+      exit_code = 1;
+      continue;
+    }
+
+    const sim::LaunchResult& launch = *result;
+    std::printf("launch %zu: %llu cycles, %llu warp insts, IPC %.4f, "
+                "L1 hit %.1f%%, L2 hit %.1f%%, DRAM row hit %.1f%%\n",
+                i, static_cast<unsigned long long>(launch.cycles),
+                static_cast<unsigned long long>(launch.sim_warp_insts),
+                launch.machine_ipc(), 100.0 * launch.mem.l1.hit_rate(),
+                100.0 * launch.mem.l2.hit_rate(),
+                100.0 * launch.mem.dram.row_hit_rate());
+  }
+  if (!observation.write()) exit_code = exit_code == 0 ? 1 : exit_code;
+  return exit_code;
 }
 
 int cmd_lemma41(int argc, char** argv) {
@@ -308,6 +483,7 @@ int main(int argc, char** argv) {
   if (command == "regions") return cmd_regions(argc, argv);
   if (command == "run") return cmd_run(argc, argv);
   if (command == "compare") return cmd_compare(argc, argv);
+  if (command == "simulate") return cmd_simulate(argc, argv);
   if (command == "lemma41") return cmd_lemma41(argc, argv);
   usage();
 }
