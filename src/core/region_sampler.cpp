@@ -75,7 +75,10 @@ void RegionSampler::on_block_retire(std::uint32_t block_id, std::uint64_t cycle,
 void RegionSampler::reevaluate_entry(std::uint64_t cycle) {
   if (state_ == State::kFastForward) return;
 
-  // The dominant region among the running blocks, and its share.
+  // The dominant region among the running blocks, and its share.  The
+  // tally goes through region_counts_ (a sorted map) so the election below
+  // is independent of running_'s bucket order; with strict '>' the first —
+  // i.e. smallest-id — region wins a tie deterministically.
   region_counts_.clear();
   for (const auto& [block, region] : running_) {
     if (region != RegionTable::kNoRegion) ++region_counts_[region];

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -123,7 +124,12 @@ class RegionSampler final : public sim::SimController {
   State state_ = State::kNormal;
   int current_region_ = RegionTable::kNoRegion;
   std::unordered_map<std::uint32_t, int> running_;  ///< simulated blocks -> region
-  std::unordered_map<int, std::size_t> region_counts_;  ///< scratch
+  /// Scratch vote tally.  Deliberately a sorted map: the dominant-region
+  /// scan walks it in region-id order, so a tie between regions resolves
+  /// to the smallest id on every platform instead of to whichever entry an
+  /// unordered_map's bucket order yielded first — the elected region fixes
+  /// the predicted IPC, which reaches the reconstructed artifacts.
+  std::map<int, std::size_t> region_counts_;
   std::vector<double> warm_ipcs_;
   std::uint64_t warming_since_cycle_ = 0;
   SkippedRegion open_skip_;  ///< accumulating while fast-forwarding

@@ -35,10 +35,12 @@ namespace tbp::harness {
 [[nodiscard]] Result<ExperimentRow> load_cached_row(const std::string& cache_dir,
                                                     const std::string& key);
 
-/// Atomic write; caching stays best-effort, so callers may ignore the
-/// returned Status, but it says why a row could not be persisted.
-Status save_cached_row(const std::string& cache_dir, const std::string& key,
-                       const ExperimentRow& row);
+/// Atomic write; caching stays best-effort, so callers may discard the
+/// returned Status with an explicit (void) cast, but it says why a row
+/// could not be persisted.
+[[nodiscard]] Status save_cached_row(const std::string& cache_dir,
+                                     const std::string& key,
+                                     const ExperimentRow& row);
 
 /// Cached wrapper around run_comparison: builds the workload and runs the
 /// comparison only on a cache miss.  `cache_dir` empty disables caching.

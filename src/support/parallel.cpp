@@ -70,6 +70,7 @@ void set_global_jobs(std::size_t jobs) {
   if (g_pool != nullptr) {
     // Resize: drain and join the old workers, then respawn.  The caller
     // contract (no parallel work in flight) makes this safe.
+    // tbp-lint: allow(naked-new) -- deliberately-leaked singleton (see g_pool); unique_ptr would reintroduce the static-destruction race this design avoids
     delete g_pool;
     g_pool = nullptr;
   }
@@ -81,6 +82,7 @@ ThreadPool& global_pool() {
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   if (g_pool == nullptr) {
     const std::size_t jobs = global_jobs();
+    // tbp-lint: allow(naked-new) -- intentional leak: workers must outlive static destruction of bench binaries with detached helper tasks
     g_pool = new ThreadPool(jobs <= 1 ? 1 : jobs - 1);
   }
   return *g_pool;

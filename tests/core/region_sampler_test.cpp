@@ -261,5 +261,39 @@ TEST(RegionSamplerTest, FinalTailBlocksAreSimulatedNotSkipped) {
   EXPECT_EQ(sampler.skipped_regions()[0].n_skipped_blocks, 2u);
 }
 
+// Regression for a determinism leak found by tbp-lint's unordered-iter
+// audit: the dominant-region election used to walk an unordered_map, so a
+// tie between two regions was broken by bucket order — which depends on
+// the standard library, not the input.  The tally now goes through a
+// sorted map: a tie must elect the smallest region id regardless of the
+// order the blocks were dispatched in.
+TEST(RegionSamplerTest, DominantRegionTieBreaksToSmallestIdDeterministically) {
+  profile::LaunchProfile launch;
+  launch.blocks.assign(20, profile::BlockStats{.thread_insts = 3200,
+                                               .warp_insts = 100,
+                                               .mem_requests = 20});
+  const RegionTable table(
+      20, {HomogeneousRegion{.region_id = 0, .start_block = 0, .end_block = 9},
+           HomogeneousRegion{.region_id = 1, .start_block = 10, .end_block = 19}});
+  RegionSamplerOptions options;
+  options.entry_fraction = 0.5;  // a 2-of-4 tie is enough to enter
+
+  const std::vector<std::vector<std::uint32_t>> dispatch_orders = {
+      {0, 1, 10, 11},
+      {10, 11, 0, 1},
+      {10, 0, 11, 1},
+  };
+  for (const auto& order : dispatch_orders) {
+    RegionSampler sampler(launch, table, options);
+    for (const std::uint32_t block : order) {
+      (void)sampler.on_block_dispatch(block, block);
+    }
+    EXPECT_EQ(sampler.state(), RegionSampler::State::kWarming);
+    EXPECT_EQ(sampler.current_region(), 0)
+        << "tie must resolve to the smallest region id for every "
+           "dispatch order";
+  }
+}
+
 }  // namespace
 }  // namespace tbp::core

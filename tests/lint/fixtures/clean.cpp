@@ -1,0 +1,33 @@
+// Lint fixture: idiomatic code that must produce zero findings even with
+// every fixture-directory rule scope enabled.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tbp {
+class Status {};
+}  // namespace tbp
+
+[[nodiscard]] tbp::Status persist(const std::string& path);
+
+[[nodiscard]] inline std::uint64_t checksum(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline void export_sorted(const std::map<std::string, std::uint64_t>& rows,
+                          std::string* out) {
+  for (const auto& [name, value] : rows) {
+    *out += name + std::to_string(value) + '\n';
+  }
+}
+
+[[nodiscard]] inline std::unique_ptr<std::string> owned_buffer() {
+  return std::make_unique<std::string>();
+}

@@ -1,0 +1,30 @@
+// Lint fixture: one deliberate violation per determinism rule, with the
+// rule id pinned to an exact line in tests/lint/lint_test.cpp.  Never
+// compiled, never scanned by the repo-wide pass (tests/lint/fixtures is
+// excluded there).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int seed_from_rand() {
+  return std::rand();  // line 11: determinism-rand
+}
+
+unsigned seed_from_entropy() {
+  std::random_device entropy;  // line 15: determinism-rand
+  return entropy();
+}
+
+long long wall_clock_cycles() {
+  const auto now = std::chrono::steady_clock::now();  // line 20: determinism-clock
+  return now.time_since_epoch().count();
+}
+
+long stamp() {
+  return std::time(nullptr);  // line 25: determinism-time
+}
+
+const char* cache_dir_from_env() {
+  return std::getenv("TBP_CACHE_DIR");  // line 29: determinism-getenv
+}

@@ -1,0 +1,17 @@
+// Lint fixture for the error-discipline rules: a Status-returning
+// declaration without [[nodiscard]] and a call statement that drops the
+// returned value on the floor.
+#include <string>
+
+namespace tbp {
+class Status {};
+}  // namespace tbp
+
+tbp::Status flush_rows(const std::string& dir);  // line 10: nodiscard-status
+
+[[nodiscard]] tbp::Status close_table(const std::string& dir);  // clean
+
+void shutdown(const std::string& dir) {
+  flush_rows(dir);  // line 15: discarded-status
+  (void)close_table(dir);  // clean: explicit discard
+}

@@ -1,0 +1,11 @@
+// Lint fixture for the hygiene rules: this header deliberately omits
+// '#pragma once' (flagged at line 1) and uses naked new/delete.
+#include <cstdint>
+
+inline std::uint64_t* make_counter() {
+  return new std::uint64_t(0);  // line 6: naked-new
+}
+
+inline void free_counter(std::uint64_t* counter) {
+  delete counter;  // line 10: naked-new
+}

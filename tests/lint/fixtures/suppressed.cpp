@@ -1,0 +1,13 @@
+// Lint fixture: each violation below carries a justified suppression, so
+// the whole file must lint clean (and the driver must count the
+// suppressions as honored).
+#include <cstdlib>
+
+int sanctioned_rand() {
+  // tbp-lint: allow(determinism-rand) -- fixture: exercises the own-line suppression form
+  return std::rand();
+}
+
+int sanctioned_rand_inline() {
+  return std::rand();  // tbp-lint: allow(determinism-rand) -- fixture: exercises the same-line suppression form
+}

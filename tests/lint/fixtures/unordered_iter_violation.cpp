@@ -1,0 +1,36 @@
+// Lint fixture for unordered-iter: the test config marks the fixture
+// directory order-sensitive, so the raw iterations below must be flagged
+// while the sorted-intermediate loop stays clean.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Exporter {
+  std::unordered_map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> sorted_counters;
+
+  std::uint64_t leak_order(std::string* out) {
+    std::uint64_t sum = 0;
+    for (const auto& [name, value] : counters) {  // line 15: unordered-iter
+      *out += name;
+      sum += value;
+    }
+    return sum;
+  }
+
+  void leak_order_via_iterators(std::string* out) {
+    for (auto it = counters.begin(); it != counters.end(); ++it) {  // line 23: unordered-iter
+      *out += it->first;
+    }
+  }
+
+  void safe_via_sorted_intermediate(std::string* out) {
+    for (const auto& [name, value] : counters) {  // clean: feeds sorted_counters
+      sorted_counters[name] += value;
+    }
+    for (const auto& [name, value] : sorted_counters) {  // clean: std::map
+      *out += name + std::to_string(value);
+    }
+  }
+};

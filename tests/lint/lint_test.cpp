@@ -1,0 +1,198 @@
+// tbp_lint fixture suite: every rule family is pinned to exact rule IDs
+// and file:line positions on deliberately-broken fixture sources, the
+// suppression syntax is exercised in both forms, exit codes are checked,
+// and — the teeth — the real repository tree must lint clean.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/driver.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+using tbp_lint::Diagnostic;
+using tbp_lint::LintConfig;
+using tbp_lint::LintOptions;
+using tbp_lint::LintResult;
+using tbp_lint::OutputFormat;
+using tbp_lint::Severity;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(TBP_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Fixture-directory policy: no allowlists, fixtures are order-sensitive.
+LintConfig fixture_config() {
+  LintConfig config;
+  config.order_sensitive = {"tests/lint/fixtures/"};
+  return config;
+}
+
+/// Lints one fixture under the repo-relative path the rules expect.
+std::vector<Diagnostic> lint_fixture(const std::string& name) {
+  return tbp_lint::lint_source("tests/lint/fixtures/" + name,
+                               read_file(fixture_path(name)),
+                               fixture_config());
+}
+
+std::vector<std::pair<std::string, int>> rule_lines(
+    const std::vector<Diagnostic>& diags) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(diags.size());
+  for (const Diagnostic& d : diags) out.emplace_back(d.rule, d.line);
+  return out;
+}
+
+TEST(LintFixtures, DeterminismRulesPinpointEachViolation) {
+  const auto diags = lint_fixture("determinism_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"determinism-rand", 11},  {"determinism-rand", 15},
+      {"determinism-clock", 20}, {"determinism-time", 25},
+      {"determinism-getenv", 29},
+  };
+  EXPECT_EQ(rule_lines(diags), expected);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_EQ(d.file, "tests/lint/fixtures/determinism_violation.cpp");
+  }
+}
+
+TEST(LintFixtures, UnorderedIterationFlagsRawLoopsOnly) {
+  const auto diags = lint_fixture("unordered_iter_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"unordered-iter", 15},
+      {"unordered-iter", 23},
+  };
+  EXPECT_EQ(rule_lines(diags), expected)
+      << "the sorted-intermediate loop must stay exempt";
+}
+
+TEST(LintFixtures, ErrorDisciplineFlagsDeclAndCallSite) {
+  const auto diags = lint_fixture("error_discipline_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"nodiscard-status", 10},
+      {"discarded-status", 15},
+  };
+  EXPECT_EQ(rule_lines(diags), expected)
+      << "[[nodiscard]] decls and (void) discards must stay clean";
+}
+
+TEST(LintFixtures, HygieneFlagsMissingPragmaOnceAndNakedNew) {
+  const auto diags = lint_fixture("hygiene_violation.hpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"pragma-once", 1},
+      {"naked-new", 6},
+      {"naked-new", 10},
+  };
+  ASSERT_EQ(rule_lines(diags), expected);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[1].severity, Severity::kWarning);
+}
+
+TEST(LintFixtures, CleanFileProducesNoFindings) {
+  EXPECT_TRUE(lint_fixture("clean.cpp").empty());
+}
+
+TEST(LintFixtures, JustifiedSuppressionsSilenceBothForms) {
+  EXPECT_TRUE(lint_fixture("suppressed.cpp").empty())
+      << "own-line and same-line allow() with justification must both work";
+}
+
+TEST(LintFixtures, UnjustifiedSuppressionIsItselfAFinding) {
+  const auto diags = lint_fixture("bad_suppression.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"lint-suppression", 7},
+  };
+  EXPECT_EQ(rule_lines(diags), expected)
+      << "the allow is honored once, but the missing justification reports";
+}
+
+TEST(LintDriver, FixtureDirectoryScanFailsWithExitCodeOne) {
+  LintOptions options;
+  options.root = TBP_LINT_FIXTURE_DIR;
+  options.subdirs = {"."};
+  options.excludes = {};
+  options.config = fixture_config();
+  // Under root=fixtures the repo-relative paths lose their prefix; the
+  // empty prefix makes every scanned file order-sensitive.
+  options.config.order_sensitive = {""};
+  const LintResult result = tbp_lint::run_lint(options);
+  EXPECT_FALSE(result.io_error);
+  EXPECT_GE(result.files_scanned, 7u);
+  EXPECT_FALSE(result.diagnostics.empty());
+  EXPECT_EQ(tbp_lint::lint_exit_code(result, /*werror=*/false), 1);
+  EXPECT_EQ(tbp_lint::lint_exit_code(result, /*werror=*/true), 1);
+}
+
+TEST(LintDriver, MissingRootYieldsExitCodeTwo) {
+  LintOptions options;
+  options.root = fixture_path("does-not-exist");
+  const LintResult result = tbp_lint::run_lint(options);
+  EXPECT_TRUE(result.io_error);
+  EXPECT_EQ(tbp_lint::lint_exit_code(result, /*werror=*/false), 2);
+}
+
+TEST(LintDriver, CleanResultYieldsExitCodeZero) {
+  LintResult clean;
+  EXPECT_EQ(tbp_lint::lint_exit_code(clean, /*werror=*/false), 0);
+  EXPECT_EQ(tbp_lint::lint_exit_code(clean, /*werror=*/true), 0);
+  LintResult warning_only;
+  warning_only.diagnostics.push_back(Diagnostic{
+      "a.cpp", 1, "naked-new", Severity::kWarning, "m"});
+  EXPECT_EQ(tbp_lint::lint_exit_code(warning_only, /*werror=*/false), 0);
+  EXPECT_EQ(tbp_lint::lint_exit_code(warning_only, /*werror=*/true), 1);
+}
+
+TEST(LintOutput, TextAndGithubFormats) {
+  const Diagnostic diag{"src/a.cpp", 42, "determinism-rand",
+                        Severity::kError, "no rand"};
+  EXPECT_EQ(tbp_lint::format_diagnostic(diag, OutputFormat::kText),
+            "src/a.cpp:42: error: [determinism-rand] no rand");
+  EXPECT_EQ(tbp_lint::format_diagnostic(diag, OutputFormat::kGithub),
+            "::error file=src/a.cpp,line=42,title=tbp-lint "
+            "determinism-rand::[determinism-rand] no rand");
+}
+
+TEST(LintOutput, RuleRegistryHasUniqueIdsCoveringEmittedRules) {
+  std::set<std::string> ids;
+  for (const tbp_lint::RuleInfo& info : tbp_lint::rule_registry()) {
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate rule " << info.id;
+  }
+  for (const char* emitted :
+       {"determinism-rand", "determinism-clock", "determinism-time",
+        "determinism-getenv", "unordered-iter", "nodiscard-status",
+        "discarded-status", "pragma-once", "naked-new", "lint-suppression"}) {
+    EXPECT_EQ(ids.count(emitted), 1u) << emitted;
+  }
+}
+
+// The acceptance gate: the real tree has zero unsuppressed findings under
+// the repo policy.  A regression anywhere in src/tools/bench/tests turns
+// this test (and the tbp_lint_tree ctest entry) red.
+TEST(LintRepo, WholeTreeIsClean) {
+  LintOptions options;
+  options.root = TBP_LINT_SOURCE_DIR;
+  const LintResult result = tbp_lint::run_lint(options);
+  ASSERT_FALSE(result.io_error) << result.io_message;
+  EXPECT_GT(result.files_scanned, 100u);
+  for (const Diagnostic& d : result.diagnostics) {
+    ADD_FAILURE() << tbp_lint::format_diagnostic(d, OutputFormat::kText);
+  }
+  EXPECT_EQ(tbp_lint::lint_exit_code(result, /*werror=*/true), 0);
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+#include "lint/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace tbp_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+[[nodiscard]] std::string to_repo_relative(const fs::path& file,
+                                           const fs::path& root) {
+  std::string rel = file.lexically_relative(root).generic_string();
+  return rel;
+}
+
+[[nodiscard]] bool excluded(const std::string& rel,
+                            const std::vector<std::string>& excludes) {
+  return std::any_of(
+      excludes.begin(), excludes.end(),
+      [&](const std::string& p) { return rel.rfind(p, 0) == 0; });
+}
+
+[[nodiscard]] std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return std::string(s.substr(b, e - b));
+}
+
+struct Suppression {
+  int line = 0;            ///< line the comment appears on
+  bool next_line = false;  ///< own-line comment: also covers line + 1
+  std::vector<std::string> rules;
+  bool justified = false;
+};
+
+/// Parses `tbp-lint: allow(a, b) -- reason` out of one comment, if present.
+[[nodiscard]] bool parse_suppression(const Comment& comment, Suppression* out) {
+  const std::string& text = comment.text;
+  const std::size_t marker = text.find("tbp-lint:");
+  if (marker == std::string::npos) return false;
+  out->line = comment.line;
+  out->next_line = comment.own_line;
+  out->rules.clear();
+  out->justified = false;
+
+  const std::size_t allow = text.find("allow(", marker);
+  if (allow == std::string::npos) return true;  // malformed, still a marker
+  const std::size_t open = allow + 5;
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) return true;
+  std::string inner = text.substr(open + 1, close - open - 1);
+  std::stringstream list(inner);
+  std::string rule;
+  while (std::getline(list, rule, ',')) {
+    rule = trim(rule);
+    if (!rule.empty()) out->rules.push_back(rule);
+  }
+  const std::size_t dash = text.find("--", close);
+  if (dash != std::string::npos && !trim(text.substr(dash + 2)).empty()) {
+    out->justified = true;
+  }
+  return true;
+}
+
+void apply_suppressions(const FileUnit& unit, std::vector<Diagnostic>* diags,
+                        std::size_t* used, std::vector<Diagnostic>* meta) {
+  std::map<int, std::set<std::string>> allowed;
+  for (const Comment& comment : unit.lexed.comments) {
+    Suppression sup;
+    if (!parse_suppression(comment, &sup)) continue;
+    if (sup.rules.empty() || !sup.justified) {
+      meta->push_back(Diagnostic{
+          unit.path, sup.line, "lint-suppression",
+          rule_severity("lint-suppression"),
+          sup.rules.empty()
+              ? "suppression comment without allow(<rule, ...>)"
+              : "suppression without a justification; write "
+                "'allow(rule) -- why this exception is sound'"});
+      if (sup.rules.empty()) continue;
+    }
+    for (const std::string& rule : sup.rules) {
+      allowed[sup.line].insert(rule);
+      if (sup.next_line) allowed[sup.line + 1].insert(rule);
+    }
+  }
+  if (allowed.empty()) return;
+  auto is_allowed = [&](const Diagnostic& d) {
+    const auto it = allowed.find(d.line);
+    if (it == allowed.end()) return false;
+    return it->second.count(d.rule) != 0;
+  };
+  const auto split = std::stable_partition(
+      diags->begin(), diags->end(),
+      [&](const Diagnostic& d) { return !is_allowed(d); });
+  *used += static_cast<std::size_t>(std::distance(split, diags->end()));
+  diags->erase(split, diags->end());
+}
+
+void lint_unit(const FileUnit& unit, const LintConfig& config,
+               const StatusIndex& index, std::size_t* suppressions_used,
+               std::vector<Diagnostic>* out) {
+  std::vector<Diagnostic> diags;
+  run_rules(unit, config, index, &diags);
+  std::vector<Diagnostic> meta;
+  apply_suppressions(unit, &diags, suppressions_used, &meta);
+  out->insert(out->end(), diags.begin(), diags.end());
+  out->insert(out->end(), meta.begin(), meta.end());
+}
+
+void sort_diagnostics(std::vector<Diagnostic>* diags) {
+  std::sort(diags->begin(), diags->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace
+
+LintResult run_lint(const LintOptions& options) {
+  LintResult result;
+  const fs::path root(options.root.empty() ? "." : options.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    result.io_error = true;
+    result.io_message = "root is not a directory: " + root.string();
+    return result;
+  }
+
+  // Deterministic scan order: collect, normalize, sort.
+  std::vector<std::string> files;
+  for (const std::string& subdir : options.subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file(ec) || !lintable_extension(it->path())) continue;
+      const std::string rel = to_repo_relative(it->path(), root);
+      if (excluded(rel, options.excludes)) continue;
+      files.push_back(rel);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileUnit> units;
+  units.reserve(files.size());
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      result.io_error = true;
+      result.io_message = "cannot read " + rel;
+      return result;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    units.push_back(FileUnit{rel, lex(text.str())});
+  }
+  result.files_scanned = units.size();
+
+  // Link each .cpp to its paired header so member-container declarations
+  // are visible to the iteration rules.  Units are stable from here on.
+  for (FileUnit& unit : units) {
+    if (!unit.path.ends_with(".cpp")) continue;
+    const std::string header =
+        unit.path.substr(0, unit.path.size() - 4) + ".hpp";
+    const auto it = std::lower_bound(
+        files.begin(), files.end(), header);
+    if (it != files.end() && *it == header) {
+      unit.companion_header =
+          &units[static_cast<std::size_t>(it - files.begin())].lexed;
+    }
+  }
+
+  const StatusIndex index = build_status_index(units);
+  for (const FileUnit& unit : units) {
+    lint_unit(unit, options.config, index, &result.suppressions_used,
+              &result.diagnostics);
+  }
+  sort_diagnostics(&result.diagnostics);
+  return result;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& source,
+                                    const LintConfig& config) {
+  const FileUnit unit{path, lex(source)};
+  const StatusIndex index = build_status_index({unit});
+  std::vector<Diagnostic> out;
+  std::size_t used = 0;
+  lint_unit(unit, config, index, &used, &out);
+  sort_diagnostics(&out);
+  return out;
+}
+
+std::string format_diagnostic(const Diagnostic& diag, OutputFormat format) {
+  const char* severity =
+      diag.severity == Severity::kError ? "error" : "warning";
+  std::ostringstream out;
+  if (format == OutputFormat::kGithub) {
+    // GitHub Actions annotation: surfaces inline on the PR diff.
+    out << "::" << severity << " file=" << diag.file << ",line=" << diag.line
+        << ",title=tbp-lint " << diag.rule << "::[" << diag.rule << "] "
+        << diag.message;
+  } else {
+    out << diag.file << ':' << diag.line << ": " << severity << ": ["
+        << diag.rule << "] " << diag.message;
+  }
+  return out.str();
+}
+
+void print_report(const LintResult& result, OutputFormat format,
+                  std::ostream& out, std::ostream& err) {
+  if (result.io_error) {
+    err << "tbp-lint: " << result.io_message << '\n';
+    return;
+  }
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Diagnostic& diag : result.diagnostics) {
+    out << format_diagnostic(diag, format) << '\n';
+    (diag.severity == Severity::kError ? errors : warnings) += 1;
+  }
+  err << "tbp-lint: " << result.files_scanned << " files, " << errors
+      << " error(s), " << warnings << " warning(s), "
+      << result.suppressions_used << " suppression(s) honored\n";
+}
+
+int lint_exit_code(const LintResult& result, bool werror) {
+  if (result.io_error) return 2;
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.severity == Severity::kError || werror) return 1;
+  }
+  return 0;
+}
+
+}  // namespace tbp_lint

@@ -1,0 +1,209 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace tbp_lint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] LexedFile run() {
+    while (!eof()) step();
+    out_.n_lines = line_;
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_has_token_ = false;
+    }
+    return c;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+    line_has_token_ = true;
+  }
+
+  void step() {
+    const char c = peek();
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') return line_comment();
+    if (c == '/' && peek(1) == '*') return block_comment();
+    if (c == '#' && !line_has_token_) return directive();
+    if (c == '"') return string_literal(false);
+    if (c == 'R' && peek(1) == '"') return string_literal(true);
+    if (is_ident_start(c)) {
+      // Encoding-prefixed literals (u8"...", LR"(...)", L'x'): spot the
+      // prefix so the quote is consumed as a literal, not as identifier +
+      // stray quote.
+      std::size_t p = pos_;
+      while (p < src_.size() && is_ident_char(src_[p])) ++p;
+      const std::string_view word = src_.substr(pos_, p - pos_);
+      if ((word == "u8" || word == "u" || word == "U" || word == "L" ||
+           word == "u8R" || word == "uR" || word == "UR" || word == "LR") &&
+          p < src_.size() && (src_[p] == '"' || src_[p] == '\'')) {
+        while (pos_ < p) advance();
+        if (peek() == '\'') return char_literal();
+        return string_literal(word.back() == 'R');
+      }
+      return identifier();
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) return number();
+    if (c == '\'') return char_literal();
+    punct();
+  }
+
+  void line_comment() {
+    const int start = line_;
+    const bool own = !line_has_token_;
+    advance();
+    advance();
+    std::string text;
+    while (!eof() && peek() != '\n') text.push_back(advance());
+    out_.comments.push_back(Comment{std::move(text), start, own});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    const bool own = !line_has_token_;
+    advance();
+    advance();
+    std::string text;
+    while (!eof() && !(peek() == '*' && peek(1) == '/')) text.push_back(advance());
+    if (!eof()) {
+      advance();
+      advance();
+    }
+    out_.comments.push_back(Comment{std::move(text), start, own});
+  }
+
+  void directive() {
+    const int start = line_;
+    std::string text;
+    while (!eof()) {
+      if (peek() == '\\' &&
+          (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+        advance();
+        while (!eof() && peek() != '\n') advance();
+        if (!eof()) advance();
+        text.push_back(' ');
+        continue;
+      }
+      if (peek() == '\n') break;
+      // Comments still end a directive line (and stay visible for
+      // suppressions).
+      if (peek() == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      text.push_back(advance());
+    }
+    emit(TokKind::kDirective, std::move(text), start);
+  }
+
+  void string_literal(bool raw) {
+    if (raw && peek() == 'R') advance();
+    advance();  // opening quote
+    if (raw) {
+      std::string delim;
+      while (!eof() && peek() != '(') delim.push_back(advance());
+      if (!eof()) advance();  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (!eof() && src_.substr(pos_, closer.size()) != closer) advance();
+      for (std::size_t i = 0; i < closer.size() && !eof(); ++i) advance();
+    } else {
+      while (!eof() && peek() != '"' && peek() != '\n') {
+        if (peek() == '\\') advance();
+        if (!eof()) advance();
+      }
+      if (!eof() && peek() == '"') advance();
+    }
+    line_has_token_ = true;
+  }
+
+  void char_literal() {
+    advance();  // opening quote
+    while (!eof() && peek() != '\'' && peek() != '\n') {
+      if (peek() == '\\') advance();
+      if (!eof()) advance();
+    }
+    if (!eof() && peek() == '\'') advance();
+    line_has_token_ = true;
+  }
+
+  void identifier() {
+    const int start = line_;
+    std::string text;
+    while (!eof() && is_ident_char(peek())) text.push_back(advance());
+    emit(TokKind::kIdentifier, std::move(text), start);
+  }
+
+  void number() {
+    const int start = line_;
+    std::string text;
+    // pp-number: digits, identifier chars, dots and exponent signs run
+    // together; the linter never inspects the value.
+    while (!eof()) {
+      const char c = peek();
+      if (!is_ident_char(c) && c != '.') break;
+      text.push_back(advance());
+      if ((text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P') &&
+          (peek() == '+' || peek() == '-')) {
+        text.push_back(advance());
+      }
+    }
+    emit(TokKind::kNumber, std::move(text), start);
+  }
+
+  void punct() {
+    const int start = line_;
+    const char c = advance();
+    if (c == ':' && peek() == ':') {
+      advance();
+      emit(TokKind::kPunct, "::", start);
+      return;
+    }
+    if (c == '-' && peek() == '>') {
+      advance();
+      emit(TokKind::kPunct, "->", start);
+      return;
+    }
+    emit(TokKind::kPunct, std::string(1, c), start);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_token_ = false;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace tbp_lint

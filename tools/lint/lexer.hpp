@@ -1,0 +1,49 @@
+// Minimal C++ lexer for tbp_lint.
+//
+// The linter's rules are token-pattern checks, not a full parse: everything
+// they need is an ordered stream of identifiers/punctuation with line
+// numbers, preprocessor directives kept opaque (so `#include <random>` can
+// never trip the determinism rules), and comments preserved separately so
+// the suppression syntax (`// tbp-lint: allow(rule) -- why`) can be read
+// back.  String/char literals are consumed and dropped for the same reason
+// directives are opaque: rule tables and log messages legitimately *name*
+// banned constructs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tbp_lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,      ///< pp-number (never inspected, kept for position fidelity)
+  kPunct,       ///< one operator/punctuator; "::" and "->" are single tokens
+  kDirective,   ///< a whole preprocessor line ("#pragma once", "#include ...")
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// One comment, with enough context to interpret suppressions: a comment
+/// that starts its source line ("own line") suppresses the *next* line too.
+struct Comment {
+  std::string text;  ///< interior text, delimiters stripped
+  int line = 0;      ///< line the comment starts on
+  bool own_line = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int n_lines = 0;
+};
+
+/// Never fails: unterminated literals/comments are consumed to end-of-input.
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+}  // namespace tbp_lint

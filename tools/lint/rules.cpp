@@ -1,0 +1,578 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+#include <unordered_set>
+
+namespace tbp_lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule tables
+
+constexpr std::array<std::string_view, 8> kBannedRandomIdents = {
+    "rand",  "srand",   "rand_r",  "drand48",
+    "lrand48", "mrand48", "random_device", "random_shuffle",
+};
+
+constexpr std::array<std::string_view, 5> kWallClockIdents = {
+    "steady_clock", "system_clock", "high_resolution_clock", "utc_clock",
+    "file_clock",
+};
+
+constexpr std::array<std::string_view, 9> kWallClockCalls = {
+    "time",       "clock",    "gettimeofday", "clock_gettime", "localtime",
+    "gmtime",     "ctime",    "timespec_get", "ftime",
+};
+
+constexpr std::array<std::string_view, 5> kEnvIdents = {
+    "getenv", "secure_getenv", "setenv", "putenv", "unsetenv",
+};
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+constexpr std::array<std::string_view, 4> kSortedTypes = {
+    "map", "set", "multimap", "multiset",
+};
+
+template <std::size_t N>
+[[nodiscard]] bool in_table(const std::array<std::string_view, N>& table,
+                            const std::string& text) noexcept {
+  return std::find(table.begin(), table.end(), text) != table.end();
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) noexcept {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) noexcept {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] const Token* at(const Tokens& toks, std::size_t i) noexcept {
+  return i < toks.size() ? &toks[i] : nullptr;
+}
+
+/// Index one past the matching closer, or toks.size() on imbalance.
+[[nodiscard]] std::size_t skip_balanced(const Tokens& toks, std::size_t open,
+                                        std::string_view opener,
+                                        std::string_view closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    if (is_punct(toks[i], closer) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+[[nodiscard]] bool member_access_before(const Tokens& toks, std::size_t i) {
+  return i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+}
+
+[[nodiscard]] bool path_matches(const std::string& path,
+                                const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return path.rfind(p, 0) == 0; });
+}
+
+[[nodiscard]] bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+void emit(std::vector<Diagnostic>* out, const FileUnit& unit, int line,
+          std::string rule, std::string message) {
+  out->push_back(Diagnostic{unit.path, line, rule, rule_severity(rule),
+                            std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// determinism-* rules
+
+void check_determinism(const FileUnit& unit, const LintConfig& config,
+                       std::vector<Diagnostic>* out) {
+  const Tokens& toks = unit.lexed.tokens;
+  const bool clock_ok = path_matches(unit.path, config.clock_allowlist);
+  const bool env_ok = path_matches(unit.path, config.getenv_allowlist);
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (member_access_before(toks, i)) continue;
+
+    if (in_table(kBannedRandomIdents, t.text)) {
+      emit(out, unit, t.line, "determinism-rand",
+           "'" + t.text +
+               "' is nondeterministic; use the seeded tbp::stats RNG");
+      continue;
+    }
+    if (!clock_ok && in_table(kWallClockIdents, t.text)) {
+      emit(out, unit, t.line, "determinism-clock",
+           "wall-clock type '" + t.text +
+               "' outside the timing allowlist; simulated results must "
+               "depend only on simulated cycles");
+      continue;
+    }
+    if (!clock_ok && in_table(kWallClockCalls, t.text)) {
+      const Token* next = at(toks, i + 1);
+      if (next != nullptr && is_punct(*next, "(")) {
+        emit(out, unit, t.line, "determinism-time",
+             "call to wall-clock function '" + t.text +
+                 "' outside the timing allowlist");
+        continue;
+      }
+    }
+    if (!env_ok && in_table(kEnvIdents, t.text)) {
+      emit(out, unit, t.line, "determinism-getenv",
+           "environment access '" + t.text +
+               "' makes results depend on ambient state; thread "
+               "configuration through options structs instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+
+/// Names declared in this file with an unordered (or sorted) container
+/// type.  Heuristic: `unordered_map<...> [&*const] name`.
+void collect_container_names(const Tokens& toks,
+                             std::unordered_set<std::string>* unordered_names,
+                             std::unordered_set<std::string>* sorted_names) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool is_unordered = in_table(kUnorderedTypes, t.text);
+    const bool is_sorted =
+        in_table(kSortedTypes, t.text) && i >= 2 &&
+        is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "std");
+    if (!is_unordered && !is_sorted) continue;
+    std::size_t j = i + 1;
+    const Token* open = at(toks, j);
+    if (open == nullptr || !is_punct(*open, "<")) continue;
+    j = skip_balanced(toks, j, "<", ">");
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    const Token* name = at(toks, j);
+    if (name == nullptr || name->kind != TokKind::kIdentifier) continue;
+    (is_unordered ? unordered_names : sorted_names)->insert(name->text);
+  }
+}
+
+/// [begin, end) token span of the statement or block following index
+/// `after` (the loop body).
+[[nodiscard]] std::pair<std::size_t, std::size_t> body_span(const Tokens& toks,
+                                                            std::size_t after) {
+  const Token* first = at(toks, after);
+  if (first == nullptr) return {after, after};
+  if (is_punct(*first, "{")) {
+    return {after + 1, skip_balanced(toks, after, "{", "}")};
+  }
+  std::size_t j = after;
+  while (j < toks.size() && !is_punct(toks[j], ";")) ++j;
+  return {after, j};
+}
+
+void check_unordered_iteration(const FileUnit& unit, const LintConfig& config,
+                               std::vector<Diagnostic>* out) {
+  if (!path_matches(unit.path, config.order_sensitive)) return;
+  const Tokens& toks = unit.lexed.tokens;
+
+  std::unordered_set<std::string> unordered_names;
+  std::unordered_set<std::string> sorted_names;
+  collect_container_names(toks, &unordered_names, &sorted_names);
+  if (unit.companion_header != nullptr) {
+    collect_container_names(unit.companion_header->tokens, &unordered_names,
+                            &sorted_names);
+  }
+  if (unordered_names.empty()) return;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Explicit iterator traversal: name.begin() / name.cbegin().
+    if (toks[i].kind == TokKind::kIdentifier &&
+        unordered_names.count(toks[i].text) != 0 &&
+        !member_access_before(toks, i)) {
+      const Token* dot = at(toks, i + 1);
+      const Token* fn = at(toks, i + 2);
+      if (dot != nullptr && fn != nullptr &&
+          (is_punct(*dot, ".") || is_punct(*dot, "->")) &&
+          (fn->text == "begin" || fn->text == "cbegin")) {
+        emit(out, unit, toks[i].line, "unordered-iter",
+             "iterator traversal of unordered container '" + toks[i].text +
+                 "' in an order-sensitive file; iteration order here can "
+                 "reach exported bytes");
+      }
+    }
+
+    // Range-for whose range expression names an unordered container.
+    if (!is_ident(toks[i], "for")) continue;
+    const Token* open = at(toks, i + 1);
+    if (open == nullptr || !is_punct(*open, "(")) continue;
+    const std::size_t close = skip_balanced(toks, i + 1, "(", ")");
+    // Locate the range-for ':' at paren depth 1; a classic for has ';'
+    // first and is skipped.
+    std::size_t colon = 0;
+    std::size_t depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")")) --depth;
+      if (depth == 1 && is_punct(toks[j], ";")) break;
+      if (depth == 1 && is_punct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    std::string ranged;
+    for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          unordered_names.count(toks[j].text) != 0) {
+        ranged = toks[j].text;
+        break;
+      }
+    }
+    if (ranged.empty()) continue;
+
+    // Escape hatch: a loop that provably feeds a sorted intermediate (its
+    // body touches a std::map/std::set declared in this file, or sorts) is
+    // order-safe — accumulation into a sorted container commutes.
+    const auto [body_begin, body_end] = body_span(toks, close);
+    bool feeds_sorted = false;
+    for (std::size_t j = body_begin; j < body_end; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          (sorted_names.count(toks[j].text) != 0 || toks[j].text == "sort")) {
+        feeds_sorted = true;
+        break;
+      }
+    }
+    if (feeds_sorted) continue;
+    emit(out, unit, toks[i].line, "unordered-iter",
+         "range-for over unordered container '" + ranged +
+             "' in an order-sensitive file does not feed a sorted "
+             "intermediate; iteration order can reach exported bytes");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nodiscard-status / discarded-status
+
+struct StatusFunction {
+  std::string name;
+  int line = 0;
+  bool is_declaration = false;  ///< prototype (';'-terminated)
+  bool qualified = false;       ///< out-of-line member definition
+  bool has_nodiscard = false;
+};
+
+/// Matches `[[nodiscard]]? [tbp::]Status|Result<...> name(args) suffix ;|{`
+/// at any scope.  `fn` receives every match.
+template <typename Fn>
+void for_each_status_function(const Tokens& toks, Fn&& fn) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier ||
+        (t.text != "Status" && t.text != "Result")) {
+      continue;
+    }
+    // Rewind over namespace qualifiers so context checks see the real
+    // predecessor of the return type.
+    std::size_t start = i;
+    while (start >= 2 && is_punct(toks[start - 1], "::") &&
+           toks[start - 2].kind == TokKind::kIdentifier) {
+      start -= 2;
+    }
+    if (start > 0) {
+      const Token& prev = toks[start - 1];
+      static const std::unordered_set<std::string> kExprContext = {
+          "return", "(", ",", "<", "new", "case", "=",  "class",
+          "struct", "enum", ".",  "->",  "co_return"};
+      if (kExprContext.count(prev.text) != 0) continue;
+    }
+
+    std::size_t j = i + 1;
+    if (t.text == "Result") {
+      const Token* open = at(toks, j);
+      if (open == nullptr || !is_punct(*open, "<")) continue;
+      j = skip_balanced(toks, j, "<", ">");
+    }
+    while (j < toks.size() && (is_punct(toks[j], "&") || is_punct(toks[j], "*")))
+      ++j;
+
+    // Optionally-qualified function name.
+    std::size_t segments = 0;
+    std::size_t name_idx = 0;
+    while (true) {
+      const Token* seg = at(toks, j);
+      if (seg == nullptr || seg->kind != TokKind::kIdentifier) break;
+      if (seg->text == "operator") break;
+      name_idx = j;
+      ++segments;
+      const Token* sep = at(toks, j + 1);
+      if (sep != nullptr && is_punct(*sep, "::")) {
+        j += 2;
+        continue;
+      }
+      j += 1;
+      break;
+    }
+    if (segments == 0 || name_idx == 0) continue;
+    const Token* open_paren = at(toks, j);
+    if (open_paren == nullptr || !is_punct(*open_paren, "(")) continue;
+    std::size_t k = skip_balanced(toks, j, "(", ")");
+
+    // Declaration suffix up to ';' (decl) or '{' (definition).
+    bool is_decl = false;
+    bool matched = false;
+    while (k < toks.size()) {
+      const Token& s = toks[k];
+      if (is_punct(s, ";")) {
+        is_decl = true;
+        matched = true;
+        break;
+      }
+      if (is_punct(s, "{")) {
+        matched = true;
+        break;
+      }
+      if (is_ident(s, "const") || is_ident(s, "override") ||
+          is_ident(s, "final") || is_punct(s, "&")) {
+        ++k;
+        continue;
+      }
+      if (is_ident(s, "noexcept")) {
+        ++k;
+        const Token* cond = at(toks, k);
+        if (cond != nullptr && is_punct(*cond, "(")) {
+          k = skip_balanced(toks, k, "(", ")");
+        }
+        continue;
+      }
+      if (is_punct(s, "=")) {
+        // `= 0;` is a pure-virtual declaration; `= delete/default` are
+        // not callable/flaggable.
+        const Token* what = at(toks, k + 1);
+        if (what != nullptr && what->text == "0") {
+          is_decl = true;
+          matched = true;
+        }
+        break;
+      }
+      break;  // anything else: not a function declarator we understand
+    }
+    if (!matched) continue;
+
+    // [[nodiscard]] lookback: collect attribute tokens immediately before
+    // the declaration head.
+    bool has_nodiscard = false;
+    {
+      std::size_t b = start;
+      static const std::unordered_set<std::string> kHeadTokens = {
+          "inline", "static",   "constexpr", "virtual",      "friend",
+          "extern", "explicit", "[",         "]",            "nodiscard",
+          "maybe_unused"};
+      while (b > 0 && kHeadTokens.count(toks[b - 1].text) != 0) {
+        --b;
+        if (toks[b].text == "nodiscard") has_nodiscard = true;
+      }
+    }
+
+    fn(StatusFunction{toks[name_idx].text, t.line, is_decl, segments > 1,
+                      has_nodiscard});
+    i = k;
+  }
+}
+
+void check_nodiscard(const FileUnit& unit, const StatusIndex& index,
+                     std::vector<Diagnostic>* out) {
+  const bool header = is_header(unit.path);
+  for_each_status_function(unit.lexed.tokens, [&](const StatusFunction& f) {
+    if (f.has_nodiscard) return;
+    if (!f.is_declaration) {
+      // A definition needs its own [[nodiscard]] only when it *is* the
+      // declaration: out-of-line member bodies and .cpp definitions of
+      // header-declared functions inherit the attribute from the prototype.
+      if (f.qualified) return;
+      if (!header && std::binary_search(index.declared_names.begin(),
+                                        index.declared_names.end(), f.name)) {
+        return;
+      }
+    }
+    emit(out, unit, f.line, "nodiscard-status",
+         "'" + f.name +
+             "' returns Status/Result but is not [[nodiscard]]; a dropped "
+             "error here silently un-does the PR-1 error discipline");
+  });
+}
+
+void check_discarded_calls(const FileUnit& unit, const StatusIndex& index,
+                           std::vector<Diagnostic>* out) {
+  const Tokens& toks = unit.lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (!std::binary_search(index.function_names.begin(),
+                            index.function_names.end(), t.text)) {
+      continue;
+    }
+    const Token* open = at(toks, i + 1);
+    if (open == nullptr || !is_punct(*open, "(")) continue;
+
+    // Walk back over a `recv.obj->name` chain; the call is a discard only
+    // when the chain starts a statement.
+    std::size_t b = i;
+    while (b >= 2 &&
+           (is_punct(toks[b - 1], ".") || is_punct(toks[b - 1], "->")) &&
+           toks[b - 2].kind == TokKind::kIdentifier) {
+      b -= 2;
+    }
+    const bool statement_start =
+        b == 0 || is_punct(toks[b - 1], ";") || is_punct(toks[b - 1], "{") ||
+        is_punct(toks[b - 1], "}") || toks[b - 1].kind == TokKind::kDirective;
+    if (!statement_start) continue;
+
+    const std::size_t k = skip_balanced(toks, i + 1, "(", ")");
+    const Token* after = at(toks, k);
+    if (after == nullptr || !is_punct(*after, ";")) continue;
+    emit(out, unit, t.line, "discarded-status",
+         "result of '" + t.text +
+             "' (returns Status/Result) is discarded; handle it or cast "
+             "to void with a reason");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hygiene rules
+
+void check_pragma_once(const FileUnit& unit, std::vector<Diagnostic>* out) {
+  if (!is_header(unit.path)) return;
+  for (const Token& t : unit.lexed.tokens) {
+    if (t.kind != TokKind::kDirective) continue;
+    if (t.text.find("pragma") != std::string::npos &&
+        t.text.find("once") != std::string::npos) {
+      return;
+    }
+  }
+  emit(out, unit, 1, "pragma-once", "header is missing '#pragma once'");
+}
+
+void check_naked_new(const FileUnit& unit, const LintConfig& config,
+                     std::vector<Diagnostic>* out) {
+  if (path_matches(unit.path, config.raw_memory_allowlist)) return;
+  const Tokens& toks = unit.lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier ||
+        (t.text != "new" && t.text != "delete")) {
+      continue;
+    }
+    if (t.text == "delete" && i > 0 && is_punct(toks[i - 1], "="))
+      continue;  // deleted functions
+    if (i > 0 && is_ident(toks[i - 1], "operator")) continue;
+    emit(out, unit, t.line, "naked-new",
+         "naked '" + t.text +
+             "' outside the low-level allowlist; prefer containers or "
+             "unique_ptr so ownership is structural");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"determinism-rand", Severity::kError,
+       "nondeterministic RNG primitives (rand, random_device, ...)"},
+      {"determinism-clock", Severity::kError,
+       "wall-clock types outside the timing allowlist"},
+      {"determinism-time", Severity::kError,
+       "wall-clock function calls outside the timing allowlist"},
+      {"determinism-getenv", Severity::kError,
+       "environment access outside the allowlist"},
+      {"unordered-iter", Severity::kError,
+       "unordered-container iteration in order-sensitive files"},
+      {"nodiscard-status", Severity::kError,
+       "Status/Result-returning declaration without [[nodiscard]]"},
+      {"discarded-status", Severity::kError,
+       "call site that discards a Status/Result return value"},
+      {"pragma-once", Severity::kError, "header missing #pragma once"},
+      {"naked-new", Severity::kWarning,
+       "naked new/delete outside the low-level allowlist"},
+      {"lint-suppression", Severity::kError,
+       "malformed suppression (allow() without a justification)"},
+  };
+  return kRules;
+}
+
+Severity rule_severity(const std::string& rule) {
+  for (const RuleInfo& info : rule_registry()) {
+    if (rule == info.id) return info.severity;
+  }
+  return Severity::kError;
+}
+
+LintConfig default_config() {
+  LintConfig config;
+  // Wall-clock reads are the *measurement* half of the harness: the
+  // experiment timer, bench wall-clock reporting, and the watchdog's
+  // real-time deadline.  Simulated results must never flow from them.
+  config.clock_allowlist = {
+      "src/harness/experiment.cpp",
+      "bench/",
+      "src/harness/faults.cpp",  // watchdog deadline plumbing
+  };
+  config.getenv_allowlist = {};
+  config.raw_memory_allowlist = {};
+  // Translation units whose iteration order reaches serialized bytes:
+  // metric/trace export, artifact serialization, and the region sampler
+  // (its dominant-region vote feeds predicted IPC, which is an artifact).
+  config.order_sensitive = {
+      "src/obs/",
+      "src/harness/cache.cpp",
+      "src/profile/profile_io.cpp",
+      "src/core/region_io.cpp",
+      "src/core/region_sampler.cpp",
+  };
+  return config;
+}
+
+StatusIndex build_status_index(const std::vector<FileUnit>& units) {
+  StatusIndex index;
+  for (const FileUnit& unit : units) {
+    for_each_status_function(unit.lexed.tokens, [&](const StatusFunction& f) {
+      if (f.name == "Status" || f.name == "Result") return;
+      index.function_names.push_back(f.name);
+      if (f.is_declaration) index.declared_names.push_back(f.name);
+    });
+  }
+  const auto finish = [](std::vector<std::string>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  finish(&index.function_names);
+  finish(&index.declared_names);
+  return index;
+}
+
+void run_rules(const FileUnit& unit, const LintConfig& config,
+               const StatusIndex& index, std::vector<Diagnostic>* out) {
+  check_determinism(unit, config, out);
+  check_unordered_iteration(unit, config, out);
+  check_nodiscard(unit, index, out);
+  check_discarded_calls(unit, index, out);
+  check_pragma_once(unit, out);
+  check_naked_new(unit, config, out);
+}
+
+}  // namespace tbp_lint

@@ -1,0 +1,87 @@
+// Rule definitions for tbp_lint.
+//
+// Each rule protects a repo invariant (DESIGN.md "Static invariants"):
+// determinism rules keep the bit-identical `--jobs`/`TBP_OBS` guarantees
+// enforceable at review time instead of only by the runtime property tests;
+// the error-discipline rules keep the Status/Result contract from PR 1
+// un-droppable; hygiene rules are cheap tripwires.  Rules are token-pattern
+// heuristics, tuned to this codebase — false positives are handled by the
+// inline suppression syntax (see driver.hpp), which requires a written
+// justification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace tbp_lint {
+
+enum class Severity { kWarning, kError };
+
+struct Diagnostic {
+  std::string file;  ///< repo-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every rule the linter can emit, in stable display order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_registry();
+
+/// Default severity for a rule id (kError for unknown ids).
+[[nodiscard]] Severity rule_severity(const std::string& rule);
+
+/// Path allowlists and scope configuration.  Entries are repo-relative
+/// path *prefixes* ("bench/" covers the directory, a full file path covers
+/// one file).  `default_config()` encodes the repo policy; tests build
+/// their own to point the rules at fixture files.
+struct LintConfig {
+  /// Files allowed to read wall clocks (timing harness, bench wall-clock).
+  std::vector<std::string> clock_allowlist;
+  /// Files allowed to read the environment.
+  std::vector<std::string> getenv_allowlist;
+  /// Files allowed naked new/delete (low-level ownership code).
+  std::vector<std::string> raw_memory_allowlist;
+  /// Translation units whose iteration order can reach an artifact, metric
+  /// snapshot or trace: serialization, export, metrics translation.
+  std::vector<std::string> order_sensitive;
+};
+
+[[nodiscard]] LintConfig default_config();
+
+struct FileUnit {
+  std::string path;  ///< repo-relative, forward slashes
+  LexedFile lexed;
+  /// Lexed paired header ("foo.hpp" for "foo.cpp") when it exists in the
+  /// scanned set: member containers are declared there, so the iteration
+  /// rules collect declared names from both sides.
+  const LexedFile* companion_header = nullptr;
+};
+
+/// Cross-file index for the error-discipline rules, built in a first pass
+/// over every scanned unit.
+struct StatusIndex {
+  /// Names of functions returning tbp::Status / tbp::Result<T> (decls and
+  /// defs) — call sites that discard one of these are flagged.
+  std::vector<std::string> function_names;
+  /// Subset with a prototype declaration (`;`-terminated) somewhere in the
+  /// tree: their out-of-line definitions don't need a second [[nodiscard]].
+  std::vector<std::string> declared_names;
+};
+
+[[nodiscard]] StatusIndex build_status_index(const std::vector<FileUnit>& units);
+
+/// Runs every rule over one file, appending diagnostics (unsuppressed —
+/// the driver applies suppressions).
+void run_rules(const FileUnit& unit, const LintConfig& config,
+               const StatusIndex& index, std::vector<Diagnostic>* out);
+
+}  // namespace tbp_lint
