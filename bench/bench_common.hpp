@@ -23,10 +23,13 @@
 #include "harness/cli.hpp"
 #include "harness/csv.hpp"
 #include "harness/experiment.hpp"
+#include "harness/manifest.hpp"
 #include "harness/table.hpp"
 #include "obs/export.hpp"
+#include "obs/report.hpp"
 #include "sim/config.hpp"
 #include "support/parallel.hpp"
+#include "support/walltime.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::bench {
@@ -65,14 +68,131 @@ inline void write_observation_outputs(const harness::CommonFlags& flags,
   }
 }
 
+/// The reproducibility-relevant slice of a bench invocation for the run
+/// manifest's "config" member: workload scaling, seed, benchmark subset and
+/// GPU geometry.  Deliberately excludes --jobs, cache paths and anything
+/// wall-clock-dependent — the manifest promises byte-identity across those.
+inline obs::JsonValue flags_config_value(const harness::CommonFlags& flags,
+                                         const sim::GpuConfig& config) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("scale_divisor", std::uint64_t{flags.scale.divisor});
+  out.set("seed", flags.scale.seed);
+  obs::JsonValue names = obs::JsonValue::array();
+  for (const std::string& name : flags.benchmark_list()) {
+    names.items().push_back(obs::JsonValue(name));
+  }
+  out.set("benchmarks", std::move(names));
+  obs::JsonValue gpu = obs::JsonValue::object();
+  gpu.set("n_sms", std::uint64_t{config.n_sms});
+  gpu.set("max_warps_per_sm", std::uint64_t{config.max_warps_per_sm()});
+  gpu.set("scheduler",
+          config.scheduler == sim::WarpScheduler::kRoundRobin
+              ? std::string("round_robin")
+              : std::string("greedy_then_oldest"));
+  gpu.set("l1_bytes", std::uint64_t{config.l1.bytes});
+  gpu.set("l2_bytes", std::uint64_t{config.l2.bytes});
+  gpu.set("n_channels", std::uint64_t{config.n_channels});
+  out.set("gpu", std::move(gpu));
+  return out;
+}
+
+/// Writes the --manifest file for one collect_rows invocation.  The body is
+/// pure computation output (no clocks, no jobs), so the bytes are identical
+/// for every --jobs value — pinned by tests/harness/manifest_determinism.
+inline void write_bench_manifest(const harness::CommonFlags& flags,
+                                 const sim::GpuConfig& config,
+                                 std::span<const harness::ExperimentRow> rows,
+                                 const obs::Observation* observe,
+                                 const std::string& tool) {
+  if constexpr (obs::kEnabled) {
+    obs::MetricsSnapshot metrics;
+    if (observe != nullptr && observe->metrics_on()) {
+      metrics = observe->merged_metrics();
+    }
+    const obs::JsonValue body = harness::manifest_body(
+        tool, "collect_rows", flags_config_value(flags, config), rows, metrics);
+    const Status status = harness::write_manifest(body, flags.manifest_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "[bench] wrote %s\n", flags.manifest_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] %s\n", status.to_string().c_str());
+    }
+  } else {
+    std::fprintf(stderr,
+                 "[bench] --manifest ignored: observability compiled out "
+                 "(TBP_OBS=OFF)\n");
+  }
+}
+
+/// Writes the --perf-json (BENCH_PERF.json) file: per-workload wall time and
+/// simulation throughput plus cache-hit counters.  Wall-clock data, so no
+/// byte-identity promise — `tbp-report compare` gates it with a tolerance.
+inline void write_bench_perf(const harness::CommonFlags& flags,
+                             std::span<const harness::ExperimentRow> rows,
+                             double wall_seconds, const std::string& tool) {
+  if constexpr (obs::kEnabled) {
+    obs::JsonValue entries = obs::JsonValue::object();
+    double total_sim_seconds = 0.0;
+    for (const harness::ExperimentRow& row : rows) {
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry.set("wall_seconds", row.full_sim_seconds + row.tbp_seconds);
+      entry.set("full_sim_seconds", row.full_sim_seconds);
+      entry.set("tbp_seconds", row.tbp_seconds);
+      entry.set("error_pct", row.tbpoint.err_pct);
+      entry.set("from_cache", row.from_cache);
+      // Exact-simulation throughput: cycles the full run simulated per
+      // second of wall time.  The denominator is the row's own timing, so
+      // cached rows report the original run's rate.
+      const double full_cycles = row.full_ipc > 0.0
+          ? static_cast<double>(row.total_warp_insts) / row.full_ipc
+          : 0.0;
+      entry.set("sim_cycles_per_second",
+                row.full_sim_seconds > 0.0 ? full_cycles / row.full_sim_seconds
+                                           : 0.0);
+      if (const auto hits = row.metrics.counter("sim.l1.hits")) {
+        const std::uint64_t misses =
+            row.metrics.counter("sim.l1.misses").value_or(0);
+        const double accesses = static_cast<double>(*hits + misses);
+        entry.set("l1_hit_rate", accesses > 0.0
+                                     ? static_cast<double>(*hits) / accesses
+                                     : 0.0);
+      }
+      entries.set(row.workload, std::move(entry));
+      total_sim_seconds += row.full_sim_seconds + row.tbp_seconds;
+    }
+    obs::JsonValue body = obs::JsonValue::object();
+    body.set("bench", tool);
+    body.set("entries", std::move(entries));
+    body.set("total_sim_seconds", total_sim_seconds);
+    body.set("wall_seconds", wall_seconds);
+    const Status status = obs::write_json_file(
+        obs::seal_json(obs::kBenchPerfSchema, std::move(body)),
+        flags.perf_json_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "[bench] wrote %s\n", flags.perf_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] %s\n", status.to_string().c_str());
+    }
+  } else {
+    std::fprintf(stderr,
+                 "[bench] --perf-json ignored: observability compiled out "
+                 "(TBP_OBS=OFF)\n");
+  }
+}
+
 /// Collects one comparison row per requested benchmark under `config`.
 /// With --metrics/--trace set, the rows' simulations record into one
 /// observation session and the files are written before returning (each
 /// call rewrites them, so sweeps keep the last configuration's capture;
 /// cached rows record nothing — pass --no-cache to capture everything).
+/// With --manifest/--perf-json set, the run manifest and BENCH_PERF.json
+/// are likewise (re)written before returning; `tool` names the emitting
+/// bench binary inside both documents.
 inline std::vector<harness::ExperimentRow> collect_rows(
     const harness::CommonFlags& flags, const sim::GpuConfig& config,
-    harness::ComparisonOptions options = {}) {
+    harness::ComparisonOptions options = {},
+    const std::string& tool = "bench") {
+  const timing::WallTimer timer;
   par::set_global_jobs(flags.jobs);
   options.jobs = flags.jobs;
   const std::unique_ptr<obs::Observation> observe = make_observation(flags);
@@ -102,6 +222,12 @@ inline std::vector<harness::ExperimentRow> collect_rows(
     }
   });
   if (observe != nullptr) write_observation_outputs(flags, *observe);
+  if (!flags.manifest_path.empty()) {
+    write_bench_manifest(flags, config, rows, observe.get(), tool);
+  }
+  if (!flags.perf_json_path.empty()) {
+    write_bench_perf(flags, rows, timer.seconds(), tool);
+  }
   return rows;
 }
 

@@ -4,6 +4,8 @@
 // bench depends on.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "profile/profiler.hpp"
 #include "sim/cache.hpp"
 #include "sim/dram.hpp"
@@ -123,4 +125,6 @@ BENCHMARK(BM_TraceGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tbp::bench::run_micro_bench("micro_sim", argc, argv);
+}

@@ -8,12 +8,11 @@
 // lands within a percent.
 //
 // Flags: --scale N --seed S --benchmarks a,b --no-cache --cache-dir PATH
-#include <chrono>
-
 #include "../bench/bench_common.hpp"
 #include "analytical/mwp_cwp.hpp"
 #include "profile/profiler.hpp"
 #include "stats/error.hpp"
+#include "support/walltime.hpp"
 
 int main(int argc, char** argv) {
   using namespace tbp;
@@ -39,13 +38,10 @@ int main(int argc, char** argv) {
     for (const auto* source : workload.sources()) {
       profile.launches.push_back(profile::profile_launch(*source));
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    const timing::WallTimer timer;
     const double analytical_ipc = analytical::predict_application_ipc(
         profile, workload.launches[0]->kernel(), config);
-    const double micros =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
+    const double micros = timer.seconds() * 1e6;
     const double err =
         stats::relative_error_pct(analytical_ipc, row.full_ipc);
     ana_err.push_back(err);

@@ -7,13 +7,13 @@
 // instruction volume at the paper's scale.
 //
 // Flags: --scale N --seed S
-#include <chrono>
 #include <cstdio>
 
 #include "harness/cli.hpp"
 #include "harness/table.hpp"
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
+#include "support/walltime.hpp"
 #include "workloads/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -42,14 +42,12 @@ int main(int argc, char** argv) {
   // wall-clock figures can leak in here).
   const workloads::Workload calib = workloads::make_workload("cfd", flags.scale);
   sim::GpuSimulator simulator(sim::fermi_config());
-  const auto start = std::chrono::steady_clock::now();
+  const timing::WallTimer timer;
   std::uint64_t insts = 0;
   for (std::size_t l = 0; l < 5 && l < calib.launches.size(); ++l) {
     insts += simulator.run_launch(*calib.launches[l]).sim_warp_insts;
   }
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double seconds = timer.seconds();
   const double insts_per_sec = static_cast<double>(insts) / seconds;
 
   std::printf("Table I: GPU execution time vs simulation time\n");

@@ -59,6 +59,16 @@ InterLaunchResult cluster_launches(const profile::ApplicationProfile& profile,
         cluster::nearest_to_centroid(result.features, members, options.metric);
     result.representatives.push_back(members[within]);
   }
+
+  result.distance_to_representative.resize(n, 0.0);
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    const cluster::FeatureVector& rep_features =
+        result.features[result.representatives[c]];
+    for (const std::size_t member : result.clusters[c]) {
+      result.distance_to_representative[member] = cluster::distance(
+          result.features[member], rep_features, options.metric);
+    }
+  }
   return result;
 }
 

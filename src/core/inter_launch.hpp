@@ -43,6 +43,12 @@ struct InterLaunchResult {
   std::vector<std::vector<std::size_t>> clusters;
   /// Per cluster: the representative launch (nearest the centroid).
   std::vector<std::size_t> representatives;
+  /// Per launch: feature-space distance (under the clustering metric) to
+  /// the launch's representative.  Zero for representatives themselves.
+  /// The accuracy-attribution report correlates this with the inter-launch
+  /// projection error: a member far from its representative is exactly the
+  /// launch whose IPC the projection is most likely to miss.
+  std::vector<double> distance_to_representative;
 
   [[nodiscard]] bool is_representative(std::size_t launch) const noexcept;
 };

@@ -13,14 +13,18 @@ LaunchPrediction predict_launch(const profile::LaunchProfile& launch,
   out.simulated_cycles = result.cycles;
 
   double extra_cycles = 0.0;
+  out.region_charged_cycles.reserve(skipped.size());
   for (const SkippedRegion& region : skipped) {
     // A region that was fast-forwarded always has a warming-unit IPC; the
     // machine-IPC fallback only guards against degenerate zero-IPC units.
     const double ipc =
         region.predicted_ipc > 0.0 ? region.predicted_ipc : result.machine_ipc();
+    double charged = 0.0;
     if (ipc > 0.0) {
-      extra_cycles += static_cast<double>(region.skipped_warp_insts) / ipc;
+      charged = static_cast<double>(region.skipped_warp_insts) / ipc;
+      extra_cycles += charged;
     }
+    out.region_charged_cycles.push_back(charged);
   }
   out.predicted_cycles = static_cast<double>(result.cycles) + extra_cycles;
   out.predicted_ipc =

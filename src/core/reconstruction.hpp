@@ -25,6 +25,14 @@ struct LaunchPrediction {
   std::uint64_t simulated_cycles = 0;
   double predicted_cycles = 0.0;
   double predicted_ipc = 0.0;
+  /// Cycles charged for each fast-forwarded stretch (parallel to the
+  /// `skipped` span handed to predict_launch): skipped_warp_insts divided
+  /// by the IPC the reconstruction actually used, including the machine-IPC
+  /// fallback for degenerate zero-IPC units.  Recording the charge per
+  /// region here — instead of only the sum inside predicted_cycles — is
+  /// what lets the accuracy attribution re-weigh each stretch against the
+  /// launch's exact IPC without re-deriving the fallback rule.
+  std::vector<double> region_charged_cycles;
 
   [[nodiscard]] double sample_fraction() const noexcept {
     return total_warp_insts == 0

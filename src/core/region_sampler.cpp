@@ -145,6 +145,8 @@ void RegionSampler::on_sampling_unit(const sim::SamplingUnit& unit) {
       .skipped_warp_insts = 0,
       .skipped_thread_insts = 0,
       .n_skipped_blocks = 0,
+      .ff_start_cycle = unit.end_cycle,
+      .n_warm_units = static_cast<std::uint32_t>(warm_ipcs_.size()),
   };
   warm_ipcs_.clear();
 }

@@ -61,6 +61,12 @@ struct SkippedRegion {
   std::uint64_t skipped_warp_insts = 0;
   std::uint64_t skipped_thread_insts = 0;
   std::uint32_t n_skipped_blocks = 0;
+  /// Simulated cycle at which the stability test fired and fast-forwarding
+  /// began; the accuracy-attribution report uses it to place each skipped
+  /// stretch on the launch timeline.
+  std::uint64_t ff_start_cycle = 0;
+  /// Warming units that fed the stability test before the IPC locked in.
+  std::uint32_t n_warm_units = 0;
 };
 
 class RegionSampler final : public sim::SimController {

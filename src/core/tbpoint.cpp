@@ -17,6 +17,7 @@ namespace {
   std::iota(result.cluster_of_launch.begin(), result.cluster_of_launch.end(), 0);
   result.clusters.resize(n_launches);
   result.representatives.resize(n_launches);
+  result.distance_to_representative.resize(n_launches, 0.0);
   for (std::size_t i = 0; i < n_launches; ++i) {
     result.clusters[i] = {i};
     result.representatives[i] = i;

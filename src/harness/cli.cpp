@@ -137,6 +137,10 @@ CommonFlags parse_common_flags(int argc, char** argv,
       flags.metrics_path = take_value();
     } else if (arg == "--trace") {
       flags.trace_path = take_value();
+    } else if (arg == "--manifest") {
+      flags.manifest_path = take_value();
+    } else if (arg == "--perf-json") {
+      flags.perf_json_path = take_value();
     } else {
       const bool allowed =
           std::any_of(extra_allowed.begin(), extra_allowed.end(),
@@ -153,7 +157,8 @@ CommonFlags parse_common_flags(int argc, char** argv,
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--seed S] [--benchmarks a,b,...] "
                    "[--no-cache] [--cache-dir PATH] [--jobs N] "
-                   "[--metrics PATH] [--trace PATH]\n",
+                   "[--metrics PATH] [--trace PATH] [--manifest PATH] "
+                   "[--perf-json PATH]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -13,6 +13,11 @@
 //   --metrics PATH     write merged simulator/sampler counters + histograms
 //                      as JSON (see DESIGN.md "Observability")
 //   --trace PATH       write a chrome://tracing timeline JSON
+//   --manifest PATH    write a sealed tbp-manifest-v1 run manifest
+//                      (byte-identical for every --jobs value)
+//   --perf-json PATH   write a sealed tbp-bench-perf-v1 wall-time/throughput
+//                      document (BENCH_PERF.json; wall-clock, so NOT
+//                      byte-identical across runs)
 //
 // Every flag also accepts the --name=value spelling.
 #pragma once
@@ -43,6 +48,8 @@ struct CommonFlags {
   std::size_t jobs = par::default_jobs();  ///< strict-parsed --jobs, >= 1
   std::string metrics_path;  ///< --metrics output file; empty = off
   std::string trace_path;    ///< --trace output file; empty = off
+  std::string manifest_path;  ///< --manifest output file; empty = off
+  std::string perf_json_path; ///< --perf-json output file; empty = off
 
   [[nodiscard]] const std::vector<std::string>& benchmark_list() const {
     return benchmarks.empty() ? workloads::workload_names() : benchmarks;

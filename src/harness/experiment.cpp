@@ -2,22 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <vector>
 
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
 #include "support/parallel.hpp"
+#include "support/walltime.hpp"
 
 namespace tbp::harness {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 std::atomic<std::size_t> g_comparison_invocations{0};
 
@@ -43,13 +37,13 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   // ---- One-time functional profiling (the GPUOcelot stage). ----
   // Launches are profiled independently; slots are indexed by launch so the
   // profile is identical for every jobs value.
-  const auto tbp_start = Clock::now();
+  const timing::WallTimer profile_timer;
   profile::ApplicationProfile app_profile;
   app_profile.launches.resize(sources.size());
   par::parallel_for(sources.size(), options.jobs, [&](std::size_t i) {
     app_profile.launches[i] = profile::profile_launch(*sources[i]);
   });
-  const double profile_seconds = seconds_since(tbp_start);
+  const double profile_seconds = profile_timer.seconds();
   row.total_warp_insts = app_profile.total_warp_insts();
 
   // ---- Ground truth: full simulation with fixed-unit metering. ----
@@ -64,7 +58,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   // one launch into the next and the launches can simulate concurrently.
   // (TBPoint's sampled launches start cold too, so sharing warmed state
   // here would bias the ground truth the sampled runs are scored against.)
-  const auto full_start = Clock::now();
+  const timing::WallTimer full_timer;
   std::vector<sim::LaunchResult> launch_results(sources.size());
   par::parallel_for(sources.size(), options.jobs, [&](std::size_t i) {
     sim::GpuSimulator launch_sim(full_config);
@@ -94,15 +88,18 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   std::uint64_t full_cycles = 0;
   std::uint64_t full_insts = 0;
   std::vector<sim::FixedUnit> units;
+  std::vector<core::LaunchExact> exact;
+  exact.reserve(launch_results.size());
   for (sim::LaunchResult& result : launch_results) {
     full_cycles += result.cycles;
     full_insts += result.sim_warp_insts;
+    exact.push_back(core::LaunchExact{result.cycles, result.sim_warp_insts});
     units.insert(units.end(),
                  std::make_move_iterator(result.fixed_units.begin()),
                  std::make_move_iterator(result.fixed_units.end()));
   }
   launch_results.clear();
-  row.full_sim_seconds = seconds_since(full_start);
+  row.full_sim_seconds = full_timer.seconds();
   row.full_ipc = full_cycles == 0 ? 0.0
                                   : static_cast<double>(full_insts) /
                                         static_cast<double>(full_cycles);
@@ -132,7 +129,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   row.simpoint_k = simpoint.selected_k;
 
   // ---- TBPoint: clustering + sampled simulation only. ----
-  const auto tbp_sim_start = Clock::now();
+  const timing::WallTimer tbp_sim_timer;
   core::TBPointOptions tbp_options = options.tbpoint;
   tbp_options.jobs = options.jobs;
   if constexpr (obs::kEnabled) {
@@ -144,7 +141,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   }
   const core::TBPointRun tbp =
       core::run_tbpoint(sources, app_profile, config, tbp_options);
-  row.tbp_seconds = profile_seconds + seconds_since(tbp_sim_start);
+  row.tbp_seconds = profile_seconds + tbp_sim_timer.seconds();
   row.tbpoint.ipc = tbp.app.predicted_ipc;
   row.tbpoint.err_pct =
       stats::relative_error_pct(tbp.app.predicted_ipc, row.full_ipc);
@@ -152,8 +149,16 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   row.inter_skip_share = tbp.app.inter_skip_share();
   row.tbp_clusters = tbp.inter.clusters.size();
 
+  // ---- Accuracy attribution against the ground truth just computed. ----
+  // Serial and purely derived from per-launch results collected by index,
+  // so it inherits the row's --jobs bit-identity.
+  row.attribution = core::attribute_errors(app_profile, tbp, exact);
+
   if constexpr (obs::kEnabled) {
     if (options.observe != nullptr && options.observe->metrics_on()) {
+      core::record_attribution(
+          row.attribution,
+          options.observe->metrics_shard(row.workload + "/attribution"));
       row.metrics = options.observe->merged_metrics(row.workload + "/");
     }
   }

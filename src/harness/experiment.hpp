@@ -10,6 +10,7 @@
 #include "baselines/ideal_simpoint.hpp"
 #include "baselines/random_sampling.hpp"
 #include "baselines/systematic_sampling.hpp"
+#include "core/attribution.hpp"
 #include "core/tbpoint.hpp"
 #include "obs/export.hpp"
 #include "sim/config.hpp"
@@ -88,6 +89,13 @@ struct ExperimentRow {
   /// observability is off or the row was loaded from the cache).  Like the
   /// timing fields, never persisted: metrics describe the computing run.
   obs::MetricsSnapshot metrics;
+
+  /// Decomposition of TBPoint's IPC error into inter-launch projection,
+  /// intra-launch warm-up and reconstruction-weighting components, computed
+  /// against this row's own full-simulation ground truth.  Never persisted:
+  /// cached rows come back with `attribution.valid == false` (the per-launch
+  /// exact cycles it needs are not part of the cache format).
+  core::ErrorAttribution attribution;
 };
 
 /// Runs the full four-way comparison.  Deterministic for fixed inputs:

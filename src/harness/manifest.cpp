@@ -1,0 +1,125 @@
+#include "harness/manifest.hpp"
+
+#include <utility>
+
+namespace tbp::harness {
+
+namespace {
+
+using obs::JsonValue;
+
+[[nodiscard]] JsonValue method_to_value(const MethodResult& method) {
+  JsonValue out = JsonValue::object();
+  out.set("ipc", method.ipc);
+  out.set("error_pct", method.err_pct);
+  out.set("sample_pct", method.sample_pct);
+  return out;
+}
+
+}  // namespace
+
+obs::JsonValue attribution_to_value(const core::ErrorAttribution& attribution) {
+  JsonValue out = JsonValue::object();
+  out.set("valid", attribution.valid);
+  if (!attribution.valid) return out;
+
+  out.set("total_warp_insts", attribution.total_warp_insts);
+  out.set("exact_total_cycles", attribution.exact_total_cycles);
+  out.set("predicted_total_cycles", attribution.predicted_total_cycles);
+  out.set("exact_ipc", attribution.exact_ipc);
+  out.set("predicted_ipc", attribution.predicted_ipc);
+  out.set("inter_cycles", attribution.inter_cycles);
+  out.set("warmup_cycles", attribution.warmup_cycles);
+  out.set("reconstruction_cycles", attribution.reconstruction_cycles);
+  out.set("total_pct", attribution.total_error_pct());
+  out.set("inter_pct", attribution.inter_error_pct());
+  out.set("warmup_pct", attribution.warmup_error_pct());
+  out.set("reconstruction_pct", attribution.reconstruction_error_pct());
+
+  JsonValue clusters = JsonValue::array();
+  for (const core::ClusterAttribution& c : attribution.clusters) {
+    JsonValue row = JsonValue::object();
+    row.set("cluster", c.cluster);
+    row.set("rep_launch", c.rep_launch);
+    row.set("n_launches", c.n_launches);
+    row.set("cluster_warp_insts", c.cluster_warp_insts);
+    row.set("scale", c.scale);
+    row.set("mean_distance_to_rep", c.mean_distance_to_rep);
+    row.set("exact_cycles", c.exact_cycles);
+    row.set("predicted_cycles", c.predicted_cycles);
+    row.set("inter_cycles", c.inter_cycles);
+    row.set("warmup_cycles", c.warmup_cycles);
+    row.set("recon_cycles", c.recon_cycles);
+    clusters.items().push_back(std::move(row));
+  }
+  out.set("clusters", std::move(clusters));
+
+  JsonValue regions = JsonValue::array();
+  for (const core::RegionAttribution& r : attribution.regions) {
+    JsonValue row = JsonValue::object();
+    row.set("rep_slot", r.rep_slot);
+    row.set("launch_index", r.launch_index);
+    row.set("region_id", std::int64_t{r.region_id});
+    row.set("skipped_warp_insts", r.skipped_warp_insts);
+    row.set("n_warm_units", std::uint64_t{r.n_warm_units});
+    row.set("ff_start_cycle", r.ff_start_cycle);
+    row.set("locked_ipc", r.locked_ipc);
+    row.set("exact_ipc", r.exact_ipc);
+    row.set("recon_cycles", r.recon_cycles);
+    regions.items().push_back(std::move(row));
+  }
+  out.set("regions", std::move(regions));
+  return out;
+}
+
+obs::JsonValue row_to_value(const ExperimentRow& row) {
+  JsonValue out = JsonValue::object();
+  out.set("name", row.workload);
+  out.set("irregular", row.irregular);
+  out.set("n_launches", row.n_launches);
+  out.set("total_blocks", row.total_blocks);
+  out.set("total_warp_insts", row.total_warp_insts);
+  out.set("unit_insts", row.unit_insts);
+  out.set("from_cache", row.from_cache);
+
+  out.set("exact_ipc", row.full_ipc);
+  out.set("predicted_ipc", row.tbpoint.ipc);
+  out.set("error_pct", row.tbpoint.err_pct);
+  out.set("sample_pct", row.tbpoint.sample_pct);
+  out.set("inter_skip_share", row.inter_skip_share);
+  out.set("tbp_clusters", row.tbp_clusters);
+  out.set("simpoint_k", row.simpoint_k);
+
+  JsonValue methods = JsonValue::object();
+  methods.set("random", method_to_value(row.random));
+  methods.set("simpoint", method_to_value(row.simpoint));
+  methods.set("systematic", method_to_value(row.systematic));
+  methods.set("tbpoint", method_to_value(row.tbpoint));
+  out.set("methods", std::move(methods));
+
+  out.set("attribution", attribution_to_value(row.attribution));
+  return out;
+}
+
+obs::JsonValue manifest_body(const std::string& tool,
+                             const std::string& command, obs::JsonValue config,
+                             std::span<const ExperimentRow> rows,
+                             const obs::MetricsSnapshot& metrics) {
+  JsonValue body = JsonValue::object();
+  body.set("tool", tool);
+  body.set("command", command);
+  body.set("config", std::move(config));
+  JsonValue workloads = JsonValue::array();
+  for (const ExperimentRow& row : rows) {
+    workloads.items().push_back(row_to_value(row));
+  }
+  body.set("workloads", std::move(workloads));
+  body.set("metrics", obs::metrics_to_value(metrics));
+  return body;
+}
+
+Status write_manifest(const obs::JsonValue& body, const std::string& path) {
+  return obs::write_json_file(obs::seal_json(obs::kManifestSchema, body), path);
+}
+
+}  // namespace tbp::harness

@@ -1,0 +1,47 @@
+// Run manifests: the deterministic, machine-readable record of one
+// tbpoint_cli or bench invocation.
+//
+// A manifest body carries the tool/command that produced it, the
+// jobs-independent configuration, per-workload accuracy results with the
+// full error-attribution decomposition, and (when observability recorded
+// any) the merged metrics snapshot.  Everything in the body is derived from
+// deterministic computation results — never wall-clock readings, never the
+// --jobs value — so the sealed file is byte-identical for every jobs value
+// (tests/harness/manifest_determinism_test.cpp pins this).  Wall-clock data
+// goes to BENCH_PERF.json instead, which makes no byte-identity promise.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "obs/report.hpp"
+#include "support/status.hpp"
+
+namespace tbp::harness {
+
+/// The error-attribution decomposition as a manifest subtree (the shape
+/// tbp-report's accuracy dashboard renders).
+[[nodiscard]] obs::JsonValue attribution_to_value(
+    const core::ErrorAttribution& attribution);
+
+/// One experiment row as a manifest "workloads" entry: identity, the four
+/// methods' accuracy numbers, sample sizes and the attribution subtree.
+/// Wall-clock fields of the row are deliberately not included.
+[[nodiscard]] obs::JsonValue row_to_value(const ExperimentRow& row);
+
+/// Assembles a tbp-manifest-v1 body.  `config` is the caller's
+/// jobs-independent configuration subtree (flags, GPU geometry, schedule);
+/// rows land under "workloads" in the given order; a merged metrics
+/// snapshot (pass merged or empty) lands under "metrics".
+[[nodiscard]] obs::JsonValue manifest_body(const std::string& tool,
+                                           const std::string& command,
+                                           obs::JsonValue config,
+                                           std::span<const ExperimentRow> rows,
+                                           const obs::MetricsSnapshot& metrics);
+
+/// Seals `body` as tbp-manifest-v1 and writes it atomically.
+[[nodiscard]] Status write_manifest(const obs::JsonValue& body,
+                                    const std::string& path);
+
+}  // namespace tbp::harness

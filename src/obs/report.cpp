@@ -1,0 +1,570 @@
+#include "obs/report.hpp"
+
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <type_traits>
+#include <utility>
+
+#include "support/atomic_file.hpp"
+#include "support/checksum.hpp"
+
+namespace tbp::obs {
+
+namespace {
+
+const std::string kEmptyString;
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest decimal that strtod's back to the identical bits: %.15g is
+/// tried first, then %.16g, with %.17g as the always-exact fallback.  The
+/// choice is a pure function of the double, so re-serializing a parsed
+/// document reproduces its bytes — which is what the CRC seal checks.
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no spelling for nan/inf
+    return;
+  }
+  if (d == 0.0) {
+    // Canonicalize negative zero: "-0" would parse back as integer 0 and
+    // break the serializer∘parser identity the CRC seal relies on.
+    out += "0";
+    return;
+  }
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t u) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(u));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i));
+  out += buf;
+}
+
+struct Serializer {
+  std::string out;
+  bool pretty = false;
+  int depth = 0;
+
+  void newline() {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+
+  void value(const JsonValue& v) {
+    v.visit([this](const auto& alt) { this->alternative(alt); });
+  }
+
+  void alternative(std::nullptr_t) { out += "null"; }
+  void alternative(bool b) { out += b ? "true" : "false"; }
+  void alternative(std::uint64_t u) { append_u64(out, u); }
+  void alternative(std::int64_t i) { append_i64(out, i); }
+  void alternative(double d) { append_double(out, d); }
+  void alternative(const std::string& s) { append_escaped(out, s); }
+
+  void alternative(const JsonValue::Array& a) {
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    ++depth;
+    bool first = true;
+    for (const JsonValue& item : a) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline();
+      value(item);
+    }
+    --depth;
+    newline();
+    out.push_back(']');
+  }
+
+  void alternative(const JsonValue::Object& o) {
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    ++depth;
+    bool first = true;
+    for (const auto& [key, member] : o) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline();
+      append_escaped(out, key);
+      out.push_back(':');
+      if (pretty) out.push_back(' ');
+      value(member);
+    }
+    --depth;
+    newline();
+    out.push_back('}');
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+constexpr int kMaxDepth = 96;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Result<JsonValue> run() {
+    JsonValue v;
+    Status s = parse_value(v, 0);
+    if (!s.ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return Status(StatusCode::kCorrupt,
+                  "json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] Status parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (consume_word("true")) { out = JsonValue(true); return Status(); }
+        return fail("bad literal");
+      case 'f':
+        if (consume_word("false")) { out = JsonValue(false); return Status(); }
+        return fail("bad literal");
+      case 'n':
+        if (consume_word("null")) { out = JsonValue(nullptr); return Status(); }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  [[nodiscard]] Status parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object o;
+    skip_ws();
+    if (consume('}')) {
+      out = JsonValue(std::move(o));
+      return Status();
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      Status s = parse_string(key);
+      if (!s.ok()) return s;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue member;
+      s = parse_value(member, depth + 1);
+      if (!s.ok()) return s;
+      o.insert_or_assign(std::move(key), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    out = JsonValue(std::move(o));
+    return Status();
+  }
+
+  [[nodiscard]] Status parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    JsonValue::Array a;
+    skip_ws();
+    if (consume(']')) {
+      out = JsonValue(std::move(a));
+      return Status();
+    }
+    while (true) {
+      JsonValue item;
+      Status s = parse_value(item, depth + 1);
+      if (!s.ok()) return s;
+      a.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    out = JsonValue(std::move(a));
+    return Status();
+  }
+
+  [[nodiscard]] Status parse_string_value(JsonValue& out) {
+    std::string s;
+    Status status = parse_string(s);
+    if (!status.ok()) return status;
+    out = JsonValue(std::move(s));
+    return Status();
+  }
+
+  [[nodiscard]] Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t code = 0;
+          if (!parse_hex4(code)) return fail("bad \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // high surrogate: require the paired low surrogate
+            std::uint32_t low = 0;
+            if (!consume('\\') || !consume('u') || !parse_hex4(low) ||
+                low < 0xDC00 || low > 0xDFFF) {
+              return fail("unpaired surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  [[nodiscard]] bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  [[nodiscard]] Status parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    const bool negative = consume('-');
+    bool integral = true;
+    std::size_t digits = 0;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++digits;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (digits == 0) return fail("expected a number");
+    const std::string token(text_.substr(start, pos_ - start));
+    // 20 digits covers the full u64 range (2^64-1); longer or overflowing
+    // tokens fall through to double.  No double serializes to a 20-digit
+    // fixed-point integer (%g switches to exponent form far earlier), so
+    // this cannot break the serializer∘parser identity.
+    if (integral && digits <= 20) {
+      errno = 0;
+      char* end = nullptr;
+      if (negative) {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          out = JsonValue(static_cast<std::int64_t>(v));
+          return Status();
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          out = JsonValue(static_cast<std::uint64_t>(v));
+          return Status();
+        }
+      }
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) {
+      return fail("malformed number");
+    }
+    out = JsonValue(d);
+    return Status();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] std::string crc_hex(std::string_view data) {
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%08x", crc32(data));
+  return std::string(buf);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors
+
+double JsonValue::as_double() const noexcept {
+  return visit([](const auto& alt) -> double {
+    using T = std::decay_t<decltype(alt)>;
+    if constexpr (std::is_same_v<T, std::uint64_t> ||
+                  std::is_same_v<T, std::int64_t>) {
+      return static_cast<double>(alt);
+    } else if constexpr (std::is_same_v<T, double>) {
+      return alt;
+    } else {
+      return 0.0;
+    }
+  });
+}
+
+std::uint64_t JsonValue::as_u64() const noexcept {
+  return visit([](const auto& alt) -> std::uint64_t {
+    using T = std::decay_t<decltype(alt)>;
+    if constexpr (std::is_same_v<T, std::uint64_t>) {
+      return alt;
+    } else if constexpr (std::is_same_v<T, std::int64_t>) {
+      return alt < 0 ? 0u : static_cast<std::uint64_t>(alt);
+    } else if constexpr (std::is_same_v<T, double>) {
+      return alt < 0.0 || !std::isfinite(alt) ? 0u
+                                              : static_cast<std::uint64_t>(alt);
+    } else {
+      return 0u;
+    }
+  });
+}
+
+const std::string& JsonValue::as_string() const noexcept {
+  const std::string* s = std::get_if<std::string>(&v_);
+  return s != nullptr ? *s : kEmptyString;
+}
+
+JsonValue::Array& JsonValue::items() {
+  assert(is_array());
+  return std::get<Array>(v_);
+}
+const JsonValue::Array& JsonValue::items() const {
+  assert(is_array());
+  return std::get<Array>(v_);
+}
+JsonValue::Object& JsonValue::members() {
+  assert(is_object());
+  return std::get<Object>(v_);
+}
+const JsonValue::Object& JsonValue::members() const {
+  assert(is_object());
+  return std::get<Object>(v_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  const Object* o = std::get_if<Object>(&v_);
+  if (o == nullptr) return nullptr;
+  const auto it = o->find(std::string(key));
+  return it == o->end() ? nullptr : &it->second;
+}
+
+void JsonValue::set(std::string_view key, JsonValue value) {
+  assert(is_object());
+  std::get<Object>(v_).insert_or_assign(std::string(key), std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+
+std::string json_serialize(const JsonValue& value) {
+  Serializer s;
+  s.value(value);
+  return std::move(s.out);
+}
+
+std::string json_serialize_pretty(const JsonValue& value) {
+  Serializer s;
+  s.pretty = true;
+  s.value(value);
+  return std::move(s.out);
+}
+
+Result<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+JsonValue seal_json(std::string_view schema, JsonValue body) {
+  const std::string canonical = json_serialize(body);
+  JsonValue doc = JsonValue::object();
+  doc.set("body", std::move(body));
+  doc.set("crc32", crc_hex(canonical));
+  doc.set("schema", schema);
+  return doc;
+}
+
+Result<JsonValue> open_json(std::string_view text,
+                            std::string_view expected_schema) {
+  Result<JsonValue> parsed = json_parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue* schema = parsed->find("schema");
+  const JsonValue* crc = parsed->find("crc32");
+  const JsonValue* body = parsed->find("body");
+  if (schema == nullptr || crc == nullptr || body == nullptr) {
+    return Status(StatusCode::kCorrupt,
+                  "sealed json: missing schema/crc32/body member");
+  }
+  if (schema->as_string() != expected_schema) {
+    return Status(StatusCode::kVersionMismatch,
+                  "sealed json: schema '" + schema->as_string() +
+                      "', expected '" + std::string(expected_schema) + "'");
+  }
+  const std::string canonical = json_serialize(*body);
+  const std::string actual = crc_hex(canonical);
+  if (crc->as_string() != actual) {
+    return Status(StatusCode::kCorrupt, "sealed json: crc32 mismatch (stored " +
+                                            crc->as_string() + ", computed " +
+                                            actual + ")");
+  }
+  JsonValue out = *body;
+  return out;
+}
+
+Status write_json_file(const JsonValue& value, const std::string& path) {
+  return io::write_file_atomic(std::filesystem::path(path),
+                               json_serialize_pretty(value) + "\n");
+}
+
+Result<JsonValue> load_sealed_file(const std::string& path,
+                                   std::string_view expected_schema) {
+  Result<std::string> text =
+      io::read_file_limited(std::filesystem::path(path));
+  if (!text.ok()) return text.status();
+  return open_json(*text, expected_schema);
+}
+
+JsonValue metrics_to_value(const MetricsSnapshot& snapshot) {
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, value);
+  }
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    JsonValue bounds = JsonValue::array();
+    for (const std::uint64_t b : histogram.bounds()) bounds.items().push_back(b);
+    JsonValue counts = JsonValue::array();
+    for (const std::uint64_t c : histogram.counts()) counts.items().push_back(c);
+    JsonValue h = JsonValue::object();
+    h.set("bounds", std::move(bounds));
+    h.set("counts", std::move(counts));
+    histograms.set(name, std::move(h));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace tbp::obs

@@ -1,0 +1,13 @@
+#include "support/walltime.hpp"
+
+#include <chrono>
+
+namespace tbp::timing {
+
+double monotonic_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace tbp::timing

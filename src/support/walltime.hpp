@@ -1,0 +1,35 @@
+// The repo's single doorway to the wall clock.
+//
+// tbp-lint's determinism-clock/-time rules ban wall-clock reads everywhere
+// except an explicit allowlist, because simulated results must depend only
+// on simulated cycles.  Measurement code (the experiment timer, bench
+// wall-clock reporting, the BENCH_PERF.json emitter) still needs real time,
+// so it goes through this helper: the chrono tokens live only in
+// walltime.cpp, which is the allowlisted translation unit, and every caller
+// stays clean under the lint sweep.  Anything returned from here must flow
+// into *_seconds reporting fields only, never into simulated state.
+#pragma once
+
+namespace tbp::timing {
+
+/// Seconds on a monotonic clock with an arbitrary epoch.  Differences are
+/// meaningful; absolute values are not.
+[[nodiscard]] double monotonic_seconds() noexcept;
+
+/// Stopwatch over monotonic_seconds: constructed running, `seconds()` reads
+/// the elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(monotonic_seconds()) {}
+
+  [[nodiscard]] double seconds() const noexcept {
+    return monotonic_seconds() - start_;
+  }
+
+  void restart() noexcept { start_ = monotonic_seconds(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace tbp::timing

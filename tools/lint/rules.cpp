@@ -524,12 +524,14 @@ Severity rule_severity(const std::string& rule) {
 
 LintConfig default_config() {
   LintConfig config;
-  // Wall-clock reads are the *measurement* half of the harness: the
-  // experiment timer, bench wall-clock reporting, and the watchdog's
-  // real-time deadline.  Simulated results must never flow from them.
+  // Wall-clock reads are the *measurement* half of the harness, and all of
+  // them funnel through timing::monotonic_seconds (support/walltime) so the
+  // allowlist stays two entries wide: the helper's own translation unit and
+  // the watchdog's real-time deadline.  The experiment timer and every
+  // bench (including the BENCH_PERF.json emitter) call the helper instead
+  // of <chrono> directly; simulated results must never flow from it.
   config.clock_allowlist = {
-      "src/harness/experiment.cpp",
-      "bench/",
+      "src/support/walltime.cpp",
       "src/harness/faults.cpp",  // watchdog deadline plumbing
   };
   config.getenv_allowlist = {};
@@ -540,9 +542,11 @@ LintConfig default_config() {
   config.order_sensitive = {
       "src/obs/",
       "src/harness/cache.cpp",
+      "src/harness/manifest.cpp",
       "src/profile/profile_io.cpp",
       "src/core/region_io.cpp",
       "src/core/region_sampler.cpp",
+      "tools/report/",  // manifest rendering + compare gate output
   };
   return config;
 }

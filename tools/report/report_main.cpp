@@ -1,0 +1,11 @@
+#include <string>
+#include <vector>
+
+#include "report_lib.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return tbp::report::run_report(args, stdout);
+}

@@ -33,6 +33,16 @@
 // timeline (open in Perfetto) with thread-block spans per SM, fixed-unit
 // boundaries and the region sampler's warm-up/fast-forward phases.
 //
+// run, compare and simulate also accept --manifest PATH: a sealed
+// tbp-manifest-v1 run manifest (flags, seed, results, error attribution,
+// metrics snapshot; render with `tbp-report show`).  The body contains no
+// wall-clock data and no --jobs value, so the bytes are identical for every
+// --jobs setting.  `simulate` without --launch additionally runs the
+// TBPoint pipeline against the just-computed full-simulation ground truth
+// and prints the error-decomposition summary (inter/warmup/reconstruction
+// components; DESIGN.md "Accuracy attribution"); with --metrics the
+// decomposition is also exported as core.attr.* counters.
+//
 // --validate runs trace::validate_launch over every launch of the workload
 // before simulating and fails with the violation report if a trace breaks
 // the simulator's contract.  All numeric flag values are parsed strictly:
@@ -40,18 +50,23 @@
 // --jobs N (default: hardware concurrency) bounds the parallelism of the
 // independent launch profiles/simulations; every value produces the same
 // numbers — only wall-clock changes.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/ideal_simpoint.hpp"
 #include "baselines/random_sampling.hpp"
+#include "core/attribution.hpp"
 #include "core/region_io.hpp"
 #include "core/tbpoint.hpp"
 #include "harness/cli.hpp"
+#include "harness/manifest.hpp"
 #include "obs/export.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
@@ -220,6 +235,61 @@ sim::GpuConfig config_from_flags(int argc, char** argv) {
   return config;
 }
 
+/// The "config" member of a --manifest document: the flags that determine
+/// the results.  Deliberately excludes --jobs and anything wall-clock-
+/// dependent, so the manifest bytes are identical for every --jobs value.
+obs::JsonValue cli_config_value(int argc, char** argv,
+                                const workloads::Workload& workload,
+                                const sim::GpuConfig& config) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("workload", workload.name);
+  const workloads::WorkloadScale scale = scale_from_flags(argc, argv);
+  out.set("scale_divisor", std::uint64_t{scale.divisor});
+  out.set("seed", scale.seed);
+  obs::JsonValue gpu = obs::JsonValue::object();
+  gpu.set("n_sms", std::uint64_t{config.n_sms});
+  gpu.set("max_warps_per_sm", std::uint64_t{config.max_warps_per_sm()});
+  gpu.set("scheduler",
+          config.scheduler == sim::WarpScheduler::kRoundRobin
+              ? std::string("round_robin")
+              : std::string("greedy_then_oldest"));
+  out.set("gpu", std::move(gpu));
+  return out;
+}
+
+/// Honors --manifest PATH for one subcommand; returns false after printing
+/// on a write failure (no-op without the flag).
+bool write_cli_manifest(int argc, char** argv, const std::string& command,
+                        obs::JsonValue config,
+                        std::span<const harness::ExperimentRow> rows,
+                        const obs::Observation* session) {
+  const std::string path = harness::flag_value(argc, argv, "--manifest", "");
+  if (path.empty()) return true;
+  if constexpr (obs::kEnabled) {
+    obs::MetricsSnapshot metrics;
+    if (session != nullptr && session->metrics_on()) {
+      metrics = session->merged_metrics();
+    }
+    const Status st = harness::write_manifest(
+        harness::manifest_body("tbpoint_cli", command, std::move(config), rows,
+                               metrics),
+        path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                   st.to_string().c_str());
+      return false;
+    }
+    std::printf("wrote manifest %s (render with: tbp-report show %s)\n",
+                path.c_str(), path.c_str());
+    return true;
+  } else {
+    std::fprintf(stderr,
+                 "--manifest ignored: observability compiled out "
+                 "(TBP_OBS=OFF)\n");
+    return true;
+  }
+}
+
 int cmd_list() {
   for (const std::string& name : workloads::workload_names()) {
     std::printf("%s\n", name.c_str());
@@ -333,7 +403,24 @@ int cmd_run(int argc, char** argv) {
               run.app.predicted_ipc, 100.0 * run.app.sample_fraction(),
               100.0 * run.app.inter_skip_share(),
               100.0 * (1.0 - run.app.inter_skip_share()));
-  return observation.write() ? 0 : 1;
+
+  // `run` has no full-simulation ground truth, so the manifest row carries
+  // the prediction with exact_ipc/error_pct zero and an invalid attribution
+  // (use `compare` or `simulate` for attributed manifests).
+  harness::ExperimentRow row;
+  row.workload = workload.name;
+  row.n_launches = sources.size();
+  row.total_blocks = app.total_blocks();
+  row.total_warp_insts = app.total_warp_insts();
+  row.tbpoint.ipc = run.app.predicted_ipc;
+  row.tbpoint.sample_pct = 100.0 * run.app.sample_fraction();
+  row.inter_skip_share = run.app.inter_skip_share();
+  row.tbp_clusters = run.inter.clusters.size();
+  bool ok = write_cli_manifest(argc, argv, "run",
+                               cli_config_value(argc, argv, workload, config),
+                               std::span(&row, 1), observation.get());
+  ok = observation.write() && ok;
+  return ok ? 0 : 1;
 }
 
 int cmd_compare(int argc, char** argv) {
@@ -343,10 +430,11 @@ int cmd_compare(int argc, char** argv) {
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
   if (!validate_if_requested(argc, argv, workload)) return 1;
+  const sim::GpuConfig config = config_from_flags(argc, argv);
   const CliObservation observation = CliObservation::from_flags(argc, argv);
   options.observe = observation.get();
   const harness::ExperimentRow row =
-      harness::run_comparison(workload, config_from_flags(argc, argv), options);
+      harness::run_comparison(workload, config, options);
 
   harness::TablePrinter table({"method", "IPC", "error%", "sample%"});
   table.add_row({"Full", harness::fmt(row.full_ipc, 4), "-", "100"});
@@ -365,13 +453,26 @@ int cmd_compare(int argc, char** argv) {
   table.print();
   std::printf("full sim %.2fs; TBPoint %.2fs\n", row.full_sim_seconds,
               row.tbp_seconds);
-  return observation.write() ? 0 : 1;
+  if (row.attribution.valid) {
+    std::printf("error attribution: total %+.3f%% = inter %+.3f%% + warmup "
+                "%+.3f%% + recon %+.3f%%\n",
+                row.attribution.total_error_pct(),
+                row.attribution.inter_error_pct(),
+                row.attribution.warmup_error_pct(),
+                row.attribution.reconstruction_error_pct());
+  }
+  bool ok = write_cli_manifest(argc, argv, "compare",
+                               cli_config_value(argc, argv, workload, config),
+                               std::span(&row, 1), observation.get());
+  ok = observation.write() && ok;
+  return ok ? 0 : 1;
 }
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 3) usage();
+  // Launches run serially here so diagnostics print in order; --jobs only
+  // bounds the attribution pipeline that follows a full-application run.
   const std::size_t jobs = jobs_from_flags(argc, argv);
-  (void)jobs;  // launches run serially here so diagnostics print in order
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
   if (!validate_if_requested(argc, argv, workload)) return 1;
@@ -401,6 +502,7 @@ int cmd_simulate(int argc, char** argv) {
   }
 
   int exit_code = 0;
+  std::vector<core::LaunchExact> exact(sources.size());
   for (std::size_t i = first; i < last; ++i) {
     sim::RunOptions options = base_options;
     if (observation.get() != nullptr) {
@@ -446,6 +548,8 @@ int cmd_simulate(int argc, char** argv) {
     }
 
     const sim::LaunchResult& launch = *result;
+    exact[i] = core::LaunchExact{.cycles = launch.cycles,
+                                 .warp_insts = launch.sim_warp_insts};
     std::printf("launch %zu: %llu cycles, %llu warp insts, IPC %.4f, "
                 "L1 hit %.1f%%, L2 hit %.1f%%, DRAM row hit %.1f%%\n",
                 i, static_cast<unsigned long long>(launch.cycles),
@@ -453,6 +557,60 @@ int cmd_simulate(int argc, char** argv) {
                 launch.machine_ipc(), 100.0 * launch.mem.l1.hit_rate(),
                 100.0 * launch.mem.l2.hit_rate(),
                 100.0 * launch.mem.dram.row_hit_rate());
+  }
+
+  // With the whole application fully simulated we have a ground truth, so
+  // run the TBPoint pipeline against it and attribute the prediction error
+  // (skipped for --launch N runs and after any launch failure).
+  std::vector<harness::ExperimentRow> manifest_rows;
+  if (exit_code == 0 && first == 0 && last == sources.size() &&
+      !sources.empty()) {
+    profile::ApplicationProfile app;
+    app.launches.resize(sources.size());
+    par::parallel_for(sources.size(), jobs, [&](std::size_t i) {
+      app.launches[i] = profile::profile_launch(*sources[i]);
+    });
+    core::TBPointOptions tbp_options;
+    tbp_options.jobs = jobs;
+    tbp_options.observe = observation.get();
+    tbp_options.observe_key_prefix = workload.name + "/tbp/";
+    const core::TBPointRun run =
+        core::run_tbpoint(sources, app, config, tbp_options);
+    const core::ErrorAttribution attribution =
+        core::attribute_errors(app, run, exact);
+    if (attribution.valid) {
+      std::printf("TBPoint error attribution: total %+.3f%% = inter %+.3f%% "
+                  "+ warmup %+.3f%% + recon %+.3f%% "
+                  "(exact IPC %.4f, predicted %.4f, sample %.2f%%)\n",
+                  attribution.total_error_pct(), attribution.inter_error_pct(),
+                  attribution.warmup_error_pct(),
+                  attribution.reconstruction_error_pct(), attribution.exact_ipc,
+                  attribution.predicted_ipc,
+                  100.0 * run.app.sample_fraction());
+      if (observation.get() != nullptr) {
+        core::record_attribution(attribution,
+                                 observation.get()->metrics_shard(
+                                     workload.name + "/attribution"));
+      }
+      harness::ExperimentRow row;
+      row.workload = workload.name;
+      row.n_launches = sources.size();
+      row.total_blocks = app.total_blocks();
+      row.total_warp_insts = app.total_warp_insts();
+      row.full_ipc = attribution.exact_ipc;
+      row.tbpoint.ipc = attribution.predicted_ipc;
+      row.tbpoint.err_pct = std::abs(attribution.total_error_pct());
+      row.tbpoint.sample_pct = 100.0 * run.app.sample_fraction();
+      row.inter_skip_share = run.app.inter_skip_share();
+      row.tbp_clusters = run.inter.clusters.size();
+      row.attribution = attribution;
+      manifest_rows.push_back(std::move(row));
+    }
+  }
+  if (!write_cli_manifest(argc, argv, "simulate",
+                          cli_config_value(argc, argv, workload, config),
+                          manifest_rows, observation.get())) {
+    exit_code = exit_code == 0 ? 1 : exit_code;
   }
   if (!observation.write()) exit_code = exit_code == 0 ? 1 : exit_code;
   return exit_code;
