@@ -1,0 +1,105 @@
+#include "fuzz/campaign.hpp"
+
+#include "fuzz/spec_io.hpp"
+#include "stats/rng.hpp"
+#include "support/parallel.hpp"
+
+namespace tbp::fuzz {
+
+std::size_t CampaignResult::n_failures() const noexcept {
+  std::size_t failures = 0;
+  for (const SeedOutcome& outcome : outcomes) {
+    if (!outcome.ok) ++failures;
+  }
+  return failures;
+}
+
+SeedOutcome check_seed(std::uint64_t seed, const sim::GpuConfig& config,
+                       const CampaignOptions& options) {
+  SeedOutcome outcome;
+  outcome.seed = seed;
+
+  const workloads::WorkloadSpec spec = generate_spec(seed, options.limits);
+  OracleReport report = check_workload(spec, config, options.bounds);
+  outcome.tbpoint_err_pct = report.row.tbpoint.err_pct;
+  if (report.ok()) return outcome;
+
+  outcome.ok = false;
+  outcome.violation_tag = report.violation_tag();
+  outcome.violations = report.violations;
+  outcome.repro_spec = spec;
+  if (options.shrink_failures) {
+    ShrinkResult shrunk =
+        shrink_spec(spec, config, options.bounds, options.shrink);
+    outcome.shrink_attempts = shrunk.attempts;
+    if (shrunk.reduced) {
+      outcome.shrunk = true;
+      outcome.repro_spec = std::move(shrunk.spec);
+      // Violations of the minimized spec (a subset of the original stages
+      // by construction) are the ones worth reporting alongside it.
+      outcome.violations = std::move(shrunk.report.violations);
+    }
+  }
+  return outcome;
+}
+
+CampaignResult run_campaign(const sim::GpuConfig& config,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  result.outcomes.resize(options.n_seeds);
+  // Indexed slots: the outcome vector is identical for every jobs value.
+  par::parallel_for(options.n_seeds, options.jobs, [&](std::size_t i) {
+    std::uint64_t state = options.base_seed + i;
+    result.outcomes[i] = check_seed(stats::splitmix64(state), config, options);
+  });
+  return result;
+}
+
+obs::JsonValue campaign_to_value(const CampaignOptions& options,
+                                 const CampaignResult& result) {
+  obs::JsonValue config = obs::JsonValue::object();
+  config.set("base_seed", options.base_seed);
+  config.set("n_seeds", static_cast<std::uint64_t>(options.n_seeds));
+  config.set("max_tbpoint_err_pct", options.bounds.max_tbpoint_err_pct);
+  config.set("shrink_failures", options.shrink_failures);
+
+  obs::JsonValue seeds = obs::JsonValue::array();
+  obs::JsonValue failures = obs::JsonValue::array();
+  for (const SeedOutcome& outcome : result.outcomes) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("seed", outcome.seed);
+    entry.set("ok", outcome.ok);
+    entry.set("violation", outcome.violation_tag);
+    seeds.items().push_back(std::move(entry));
+    if (outcome.ok) continue;
+
+    obs::JsonValue failure = obs::JsonValue::object();
+    failure.set("seed", outcome.seed);
+    failure.set("violation", outcome.violation_tag);
+    obs::JsonValue details = obs::JsonValue::array();
+    for (const OracleViolation& v : outcome.violations) {
+      obs::JsonValue detail = obs::JsonValue::object();
+      detail.set("stage", oracle_stage_name(v.stage));
+      detail.set("detail", v.detail);
+      if (!v.attributed_stage.empty()) {
+        detail.set("attributed_stage", v.attributed_stage);
+      }
+      details.items().push_back(std::move(detail));
+    }
+    failure.set("details", std::move(details));
+    failure.set("shrunk", outcome.shrunk);
+    failure.set("shrink_attempts",
+                static_cast<std::uint64_t>(outcome.shrink_attempts));
+    failure.set("spec", spec_to_value(outcome.repro_spec));
+    failures.items().push_back(std::move(failure));
+  }
+
+  obs::JsonValue body = obs::JsonValue::object();
+  body.set("config", std::move(config));
+  body.set("seeds", std::move(seeds));
+  body.set("failures", std::move(failures));
+  body.set("n_failures", static_cast<std::uint64_t>(result.n_failures()));
+  return body;
+}
+
+}  // namespace tbp::fuzz

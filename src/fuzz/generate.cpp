@@ -1,0 +1,159 @@
+#include "fuzz/generate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "stats/rng.hpp"
+
+namespace tbp::fuzz {
+namespace {
+
+// Substream tags.  The shape draw lives in its own stream so
+// evolution_for_seed can reproduce it without replaying the whole sampler.
+constexpr std::uint64_t kShapeStream = 0xf2a7'0001ULL;
+constexpr std::uint64_t kSpecStream = 0xf2a7'0002ULL;
+
+[[nodiscard]] std::uint32_t draw_u32(stats::Rng& rng, std::uint32_t lo,
+                                     std::uint32_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1ULL));
+}
+
+/// Samples the per-launch behavior knobs shared by every evolution shape.
+[[nodiscard]] workloads::LaunchSpec draw_launch(stats::Rng& rng,
+                                                const GeneratorLimits& limits) {
+  workloads::LaunchSpec launch;
+  launch.n_blocks =
+      draw_u32(rng, limits.min_blocks_per_launch, limits.max_blocks_per_launch);
+
+  static constexpr std::uint32_t kThreadChoices[] = {64, 128, 256};
+  launch.threads_per_block = kThreadChoices[rng.below(3)];
+
+  // Regular launches dominate (as in Table VI); irregular and outlier-heavy
+  // each get a healthy share so the variation-factor paths stay exercised.
+  const double pattern_roll = rng.uniform();
+  if (pattern_roll < 0.5) {
+    launch.pattern = workloads::BlockPattern::kRegular;
+  } else if (pattern_roll < 0.8) {
+    launch.pattern = workloads::BlockPattern::kIrregular;
+  } else {
+    launch.pattern = workloads::BlockPattern::kOutlierHeavy;
+  }
+
+  launch.base_iterations = draw_u32(rng, 1, limits.max_base_iterations);
+  launch.alu_per_iteration = draw_u32(rng, 1, 8);
+  launch.sfu_per_iteration = rng.bernoulli(0.3) ? draw_u32(rng, 1, 4) : 0;
+  launch.mem_per_iteration = draw_u32(rng, 0, 4);
+  launch.stores_per_iteration = draw_u32(rng, 0, 2);
+  launch.shared_per_iteration = rng.bernoulli(0.25) ? draw_u32(rng, 1, 4) : 0;
+
+  // Divergence: mostly converged, sometimes partial, occasionally total.
+  const double divergence_roll = rng.uniform();
+  if (divergence_roll < 0.5) {
+    launch.branch_divergence = 0.0;
+  } else if (divergence_roll < 0.9) {
+    launch.branch_divergence = rng.uniform(0.05, 0.6);
+  } else {
+    launch.branch_divergence = 1.0;
+  }
+
+  static constexpr std::uint8_t kCoalescing[] = {1, 1, 2, 4, 8, 32};
+  launch.lines_per_access = kCoalescing[rng.below(6)];
+
+  const double address_roll = rng.uniform();
+  if (address_roll < 0.5) {
+    launch.address = trace::AddressPattern::kStreaming;
+  } else if (address_roll < 0.75) {
+    launch.address = trace::AddressPattern::kStrided;
+  } else {
+    launch.address = trace::AddressPattern::kRandom;
+  }
+  // Span 0..max so the cache-thrash boundary and the degenerate
+  // working_set_lines == 0 path both appear in the corpus.
+  launch.working_set_lines = rng.below(limits.max_working_set_lines + 1);
+
+  launch.barrier_per_iteration = rng.bernoulli(0.2);
+
+  launch.outlier_fraction = rng.uniform(0.01, 0.2);
+  launch.outlier_multiplier = draw_u32(rng, 2, 8);
+  return launch;
+}
+
+}  // namespace
+
+const char* evolution_shape_name(EvolutionShape shape) noexcept {
+  switch (shape) {
+    case EvolutionShape::kIdenticalRelaunch: return "identical-relaunch";
+    case EvolutionShape::kFrontierGrowth: return "frontier-growth";
+    case EvolutionShape::kContraction: return "contraction";
+    case EvolutionShape::kIndependent: return "independent";
+  }
+  return "identical-relaunch";
+}
+
+EvolutionShape evolution_for_seed(std::uint64_t seed) {
+  stats::Rng rng = stats::Rng(seed).substream(kShapeStream);
+  return static_cast<EvolutionShape>(rng.below(4));
+}
+
+std::string seed_workload_name(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "fuzz-%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+workloads::WorkloadSpec generate_spec(std::uint64_t seed,
+                                      const GeneratorLimits& limits) {
+  assert(limits.min_launches >= 1 && limits.min_launches <= limits.max_launches);
+  assert(limits.min_blocks_per_launch >= 1 &&
+         limits.min_blocks_per_launch <= limits.max_blocks_per_launch);
+  assert(limits.max_base_iterations >= 1);
+
+  const EvolutionShape shape = evolution_for_seed(seed);
+  stats::Rng rng = stats::Rng(seed).substream(kSpecStream);
+
+  workloads::WorkloadSpec spec;
+  spec.name = seed_workload_name(seed);
+  spec.seed = seed;
+
+  const std::uint32_t n_launches =
+      draw_u32(rng, limits.min_launches, limits.max_launches);
+  spec.launches.reserve(n_launches);
+
+  workloads::LaunchSpec base = draw_launch(rng, limits);
+  for (std::uint32_t l = 0; l < n_launches; ++l) {
+    switch (shape) {
+      case EvolutionShape::kIdenticalRelaunch:
+        spec.launches.push_back(base);
+        break;
+      case EvolutionShape::kFrontierGrowth: {
+        // BFS-like frontier: block count roughly doubles each level, capped.
+        workloads::LaunchSpec launch = base;
+        const std::uint64_t grown = static_cast<std::uint64_t>(base.n_blocks)
+                                    << l;
+        launch.n_blocks = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            grown, limits.max_blocks_per_launch));
+        spec.launches.push_back(launch);
+        break;
+      }
+      case EvolutionShape::kContraction: {
+        // MST-like contraction: block count roughly halves each round.
+        workloads::LaunchSpec launch = base;
+        launch.n_blocks = std::max<std::uint32_t>(
+            limits.min_blocks_per_launch, base.n_blocks >> l);
+        spec.launches.push_back(launch);
+        break;
+      }
+      case EvolutionShape::kIndependent:
+        spec.launches.push_back(l == 0 ? base : draw_launch(rng, limits));
+        break;
+    }
+  }
+
+  assert(workloads::validate_spec(spec).ok());
+  return spec;
+}
+
+}  // namespace tbp::fuzz

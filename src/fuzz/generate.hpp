@@ -1,0 +1,58 @@
+// Seeded random-workload generation.
+//
+// generate_spec maps a single 64-bit seed to a WorkloadSpec: launch count,
+// TB-size patterns (regular / irregular / outlier-heavy, Fig. 8),
+// divergence / coalescing / memory-intensity profiles and an inter-launch
+// evolution shape (identical relaunch, frontier growth, contraction,
+// independent — the launch-sequence shapes the 12 Table VI models exhibit).
+// Every stochastic choice flows through stats::Rng substreams of the seed,
+// so the same seed reproduces the same spec — and, through
+// workloads::build_workload, byte-identical traces — on every platform,
+// run, and --jobs value.  A failing seed therefore IS the reproducer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/parametric.hpp"
+
+namespace tbp::fuzz {
+
+/// Bounds on the sampled parameter space.  The defaults keep a generated
+/// workload small enough that the differential oracles (two full
+/// simulations plus profiling) complete in well under a second, so a
+/// 25-seed PR-gate budget stays bounded even on one core.
+struct GeneratorLimits {
+  std::uint32_t min_launches = 1;
+  std::uint32_t max_launches = 6;
+  std::uint32_t min_blocks_per_launch = 2;
+  std::uint32_t max_blocks_per_launch = 48;
+  std::uint32_t max_base_iterations = 10;
+  std::uint64_t max_working_set_lines = 1u << 14;
+};
+
+/// How the launch sequence evolves (sampled per workload).
+enum class EvolutionShape : std::uint8_t {
+  kIdenticalRelaunch,  ///< iterative solver: same launch re-run N times
+  kFrontierGrowth,     ///< BFS-like: block counts grow over the sequence
+  kContraction,        ///< MST-like: block counts shrink over the sequence
+  kIndependent,        ///< unrelated kernels back to back
+};
+
+/// Stable lowercase name for diagnostics.
+[[nodiscard]] const char* evolution_shape_name(EvolutionShape shape) noexcept;
+
+/// The shape generate_spec sampled for `seed` (exposed for diagnostics and
+/// distribution tests; the same draw generate_spec makes internally).
+[[nodiscard]] EvolutionShape evolution_for_seed(std::uint64_t seed);
+
+/// Deterministic workload name for a seed: "fuzz-<16 hex digits>".
+[[nodiscard]] std::string seed_workload_name(std::uint64_t seed);
+
+/// Samples the spec for `seed`.  The result always satisfies
+/// workloads::validate_spec for any limits whose mins do not exceed their
+/// maxes (debug-asserted).
+[[nodiscard]] workloads::WorkloadSpec generate_spec(
+    std::uint64_t seed, const GeneratorLimits& limits = {});
+
+}  // namespace tbp::fuzz

@@ -1,0 +1,66 @@
+// Failing-seed minimization.
+//
+// A random spec that trips an oracle usually carries a lot of incidental
+// structure: launches that do not matter, block counts ten times larger
+// than needed, knobs that could be flat.  The shrinker greedily reduces a
+// failing spec while re-checking that it *still fails the same oracle
+// stages*, in three move families applied in decreasing order of leverage:
+//
+//   1. launch-list reduction — drop the back half, the front half, then
+//      individual launches;
+//   2. size halving — halve one launch's block count or iteration count;
+//   3. knob flattening — reset one launch's divergence / pattern / address
+//      / coalescing / barrier / secondary-op knobs to their simplest value.
+//
+// Moves are accepted only when the candidate's cost strictly decreases
+// under a lexicographic (work-proxy, complexity) order, so the loop cannot
+// cycle; the whole procedure is deterministic (fixed candidate order, no
+// randomness), so one failing seed always minimizes to the same spec.
+//
+// Per-launch RNG substreams in build_workload are keyed by launch *index*;
+// dropping or simplifying one launch therefore never perturbs the traces
+// of the survivors, which is what makes greedy launch removal sound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "fuzz/oracle.hpp"
+
+namespace tbp::fuzz {
+
+struct ShrinkOptions {
+  /// Budget of oracle evaluations (each one may run full simulations, so
+  /// this is the knob that bounds shrink wall-clock).
+  std::size_t max_attempts = 48;
+};
+
+struct ShrinkResult {
+  /// The minimized spec; the input spec when nothing could be removed.
+  workloads::WorkloadSpec spec;
+  /// Oracle evaluations spent (including the initial classifying run).
+  std::size_t attempts = 0;
+  /// True when at least one reduction was accepted.
+  bool reduced = false;
+  /// Oracle report of the final spec (its violations are ⊆ the original
+  /// failing stages by construction).
+  OracleReport report;
+};
+
+/// Deterministic lexicographic cost: (instruction-work proxy, count of
+/// non-flat knobs).  Exposed so tests can assert monotone progress.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> shrink_cost(
+    const workloads::WorkloadSpec& spec);
+
+/// Minimizes `spec` against the oracle stages it currently violates.
+/// Only those stages are re-checked while shrinking (the others' cost is
+/// skipped), and a candidate is kept only if at least one originally-
+/// violated stage still fires.  If `spec` does not fail at all, returns it
+/// unchanged with reduced == false.
+[[nodiscard]] ShrinkResult shrink_spec(const workloads::WorkloadSpec& spec,
+                                       const sim::GpuConfig& config,
+                                       const OracleBounds& bounds,
+                                       const ShrinkOptions& options = {});
+
+}  // namespace tbp::fuzz

@@ -1,0 +1,234 @@
+#include "fuzz/spec_io.hpp"
+
+#include <limits>
+
+namespace tbp::fuzz {
+namespace {
+
+[[nodiscard]] const char* address_pattern_name(
+    trace::AddressPattern pattern) noexcept {
+  switch (pattern) {
+    case trace::AddressPattern::kStreaming: return "streaming";
+    case trace::AddressPattern::kStrided: return "strided";
+    case trace::AddressPattern::kRandom: return "random";
+  }
+  return "streaming";
+}
+
+[[nodiscard]] Result<trace::AddressPattern> address_pattern_from_name(
+    std::string_view name) {
+  if (name == "streaming") return trace::AddressPattern::kStreaming;
+  if (name == "strided") return trace::AddressPattern::kStrided;
+  if (name == "random") return trace::AddressPattern::kRandom;
+  return Status(StatusCode::kCorrupt,
+                "unknown address pattern '" + std::string(name) + "'");
+}
+
+[[nodiscard]] Status corrupt(const std::string& what) {
+  return Status(StatusCode::kCorrupt, "reproducer spec: " + what);
+}
+
+/// Field-by-field decoder that latches the first error and makes the
+/// remaining reads no-ops, so call sites stay flat instead of nesting
+/// fifteen Result checks.
+class FieldReader {
+ public:
+  explicit FieldReader(const obs::JsonValue& object) : object_(object) {}
+
+  /// Integral member: absent / non-numeric / negative / above `max_value`
+  /// all latch kCorrupt.  JSON has no unsigned marker, so the bound check
+  /// is what stands between a hand-edited file and a u32 truncation.
+  [[nodiscard]] std::uint64_t uint(std::string_view key,
+                                   std::uint64_t max_value) {
+    if (!error_.ok()) return 0;
+    const obs::JsonValue* member = object_.find(key);
+    if (member == nullptr || !member->is_number()) {
+      error_ = corrupt("missing numeric field '" + std::string(key) + "'");
+      return 0;
+    }
+    if (member->as_double() < 0.0) {
+      error_ = corrupt("negative value for '" + std::string(key) + "'");
+      return 0;
+    }
+    const std::uint64_t value = member->as_u64();
+    if (value > max_value) {
+      error_ = corrupt("value for '" + std::string(key) + "' out of range");
+      return 0;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint32_t uint32(std::string_view key) {
+    return static_cast<std::uint32_t>(
+        uint(key, std::numeric_limits<std::uint32_t>::max()));
+  }
+
+  [[nodiscard]] double real(std::string_view key) {
+    if (!error_.ok()) return 0.0;
+    const obs::JsonValue* member = object_.find(key);
+    if (member == nullptr || !member->is_number()) {
+      error_ = corrupt("missing numeric field '" + std::string(key) + "'");
+      return 0.0;
+    }
+    return member->as_double();
+  }
+
+  [[nodiscard]] bool boolean(std::string_view key) {
+    if (!error_.ok()) return false;
+    const obs::JsonValue* member = object_.find(key);
+    if (member == nullptr || !member->is_bool()) {
+      error_ = corrupt("missing bool field '" + std::string(key) + "'");
+      return false;
+    }
+    return member->as_bool();
+  }
+
+  [[nodiscard]] std::string string(std::string_view key) {
+    if (!error_.ok()) return {};
+    const obs::JsonValue* member = object_.find(key);
+    if (member == nullptr || !member->is_string()) {
+      error_ = corrupt("missing string field '" + std::string(key) + "'");
+      return {};
+    }
+    return member->as_string();
+  }
+
+  [[nodiscard]] Status error() const { return error_; }
+
+ private:
+  const obs::JsonValue& object_;
+  Status error_;
+};
+
+[[nodiscard]] obs::JsonValue launch_to_value(const workloads::LaunchSpec& l) {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("n_blocks", static_cast<std::uint64_t>(l.n_blocks));
+  v.set("threads_per_block", static_cast<std::uint64_t>(l.threads_per_block));
+  v.set("pattern", workloads::block_pattern_name(l.pattern));
+  v.set("base_iterations", static_cast<std::uint64_t>(l.base_iterations));
+  v.set("alu_per_iteration", static_cast<std::uint64_t>(l.alu_per_iteration));
+  v.set("sfu_per_iteration", static_cast<std::uint64_t>(l.sfu_per_iteration));
+  v.set("mem_per_iteration", static_cast<std::uint64_t>(l.mem_per_iteration));
+  v.set("stores_per_iteration",
+        static_cast<std::uint64_t>(l.stores_per_iteration));
+  v.set("shared_per_iteration",
+        static_cast<std::uint64_t>(l.shared_per_iteration));
+  v.set("branch_divergence", l.branch_divergence);
+  v.set("lines_per_access", static_cast<std::uint64_t>(l.lines_per_access));
+  v.set("address", address_pattern_name(l.address));
+  v.set("working_set_lines", l.working_set_lines);
+  v.set("barrier_per_iteration", l.barrier_per_iteration);
+  v.set("outlier_fraction", l.outlier_fraction);
+  v.set("outlier_multiplier", static_cast<std::uint64_t>(l.outlier_multiplier));
+  return v;
+}
+
+[[nodiscard]] Result<workloads::LaunchSpec> launch_from_value(
+    const obs::JsonValue& v) {
+  if (!v.is_object()) return corrupt("launch entry is not an object");
+  workloads::LaunchSpec l;
+  FieldReader fields(v);
+
+  l.n_blocks = fields.uint32("n_blocks");
+  l.threads_per_block = fields.uint32("threads_per_block");
+  l.base_iterations = fields.uint32("base_iterations");
+  l.alu_per_iteration = fields.uint32("alu_per_iteration");
+  l.sfu_per_iteration = fields.uint32("sfu_per_iteration");
+  l.mem_per_iteration = fields.uint32("mem_per_iteration");
+  l.stores_per_iteration = fields.uint32("stores_per_iteration");
+  l.shared_per_iteration = fields.uint32("shared_per_iteration");
+  l.branch_divergence = fields.real("branch_divergence");
+  l.lines_per_access = static_cast<std::uint8_t>(
+      fields.uint("lines_per_access", std::numeric_limits<std::uint8_t>::max()));
+  l.working_set_lines = fields.uint(
+      "working_set_lines", std::numeric_limits<std::uint64_t>::max());
+  l.barrier_per_iteration = fields.boolean("barrier_per_iteration");
+  l.outlier_fraction = fields.real("outlier_fraction");
+  l.outlier_multiplier = fields.uint32("outlier_multiplier");
+
+  const std::string pattern = fields.string("pattern");
+  const std::string address = fields.string("address");
+  if (!fields.error().ok()) return fields.error();
+
+  Result<workloads::BlockPattern> parsed_pattern =
+      workloads::block_pattern_from_name(pattern);
+  if (!parsed_pattern.ok()) return corrupt(parsed_pattern.status().message());
+  l.pattern = *parsed_pattern;
+
+  Result<trace::AddressPattern> parsed_address =
+      address_pattern_from_name(address);
+  if (!parsed_address.ok()) return parsed_address.status();
+  l.address = *parsed_address;
+  return l;
+}
+
+}  // namespace
+
+obs::JsonValue spec_to_value(const workloads::WorkloadSpec& spec) {
+  obs::JsonValue launches = obs::JsonValue::array();
+  for (const workloads::LaunchSpec& launch : spec.launches) {
+    launches.items().push_back(launch_to_value(launch));
+  }
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("name", spec.name);
+  v.set("seed", spec.seed);
+  v.set("launches", std::move(launches));
+  return v;
+}
+
+Result<workloads::WorkloadSpec> spec_from_value(const obs::JsonValue& value) {
+  if (!value.is_object()) return corrupt("spec is not an object");
+  workloads::WorkloadSpec spec;
+  FieldReader fields(value);
+
+  spec.name = fields.string("name");
+  spec.seed = fields.uint("seed", std::numeric_limits<std::uint64_t>::max());
+
+  const obs::JsonValue* launches = value.find("launches");
+  if (launches == nullptr || !launches->is_array()) {
+    return corrupt("missing array field 'launches'");
+  }
+  if (!fields.error().ok()) return fields.error();
+
+  spec.launches.reserve(launches->items().size());
+  for (const obs::JsonValue& entry : launches->items()) {
+    Result<workloads::LaunchSpec> launch = launch_from_value(entry);
+    if (!launch.ok()) return launch.status();
+    spec.launches.push_back(*launch);
+  }
+
+  if (Status valid = workloads::validate_spec(spec); !valid.ok()) {
+    return valid;
+  }
+  return spec;
+}
+
+Status save_reproducer(const workloads::WorkloadSpec& spec, std::uint64_t seed,
+                       const std::string& violation, const std::string& path) {
+  obs::JsonValue body = obs::JsonValue::object();
+  body.set("seed", seed);
+  body.set("violation", violation);
+  body.set("spec", spec_to_value(spec));
+  return obs::write_json_file(obs::seal_json(kReproSchema, std::move(body)),
+                              path);
+}
+
+Result<Reproducer> load_reproducer(const std::string& path) {
+  Result<obs::JsonValue> body = obs::load_sealed_file(path, kReproSchema);
+  if (!body.ok()) return body.status();
+
+  Reproducer repro;
+  FieldReader fields(*body);
+  repro.seed = fields.uint("seed", std::numeric_limits<std::uint64_t>::max());
+  repro.violation = fields.string("violation");
+  if (!fields.error().ok()) return fields.error();
+
+  const obs::JsonValue* spec = body->find("spec");
+  if (spec == nullptr) return corrupt("missing field 'spec'");
+  Result<workloads::WorkloadSpec> parsed = spec_from_value(*spec);
+  if (!parsed.ok()) return parsed.status();
+  repro.spec = *std::move(parsed);
+  return repro;
+}
+
+}  // namespace tbp::fuzz

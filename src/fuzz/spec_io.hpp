@@ -1,0 +1,48 @@
+// Reproducer serialization for fuzz workload specs.
+//
+// A failing seed is reproducible from the seed alone as long as the
+// generator stays frozen — but the minimizer's output is a *shrunk spec*
+// that no seed maps to.  Reproducer files therefore persist the full
+// WorkloadSpec (plus the seed and the violated-oracle tag) as a sealed
+// JSON document, so a reproducer written by one build replays on another
+// even after the generator's sampling distribution evolves.
+#pragma once
+
+#include <string>
+
+#include "obs/report.hpp"
+#include "support/status.hpp"
+#include "workloads/parametric.hpp"
+
+namespace tbp::fuzz {
+
+/// Schema tag for sealed reproducer files.
+inline constexpr std::string_view kReproSchema = "tbp-fuzz-repro-v1";
+
+/// Spec -> JSON tree (an object; deterministic by JsonValue construction).
+[[nodiscard]] obs::JsonValue spec_to_value(const workloads::WorkloadSpec& spec);
+
+/// JSON tree -> spec.  kCorrupt for structural problems (wrong types,
+/// missing fields, unknown enum names); kInvalidArgument when the decoded
+/// spec fails workloads::validate_spec.  Never returns an invalid spec.
+[[nodiscard]] Result<workloads::WorkloadSpec> spec_from_value(
+    const obs::JsonValue& value);
+
+/// Writes a sealed reproducer: {"seed":..., "violation":..., "spec":{...}}.
+/// `violation` is a short human tag ("accuracy", "counts", ...).
+[[nodiscard]] Status save_reproducer(const workloads::WorkloadSpec& spec,
+                                     std::uint64_t seed,
+                                     const std::string& violation,
+                                     const std::string& path);
+
+/// A reproducer loaded back from disk.
+struct Reproducer {
+  workloads::WorkloadSpec spec;
+  std::uint64_t seed = 0;
+  std::string violation;
+};
+
+/// Loads and validates a sealed reproducer file.
+[[nodiscard]] Result<Reproducer> load_reproducer(const std::string& path);
+
+}  // namespace tbp::fuzz

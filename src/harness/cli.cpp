@@ -70,6 +70,14 @@ Result<double> parse_double(const std::string& text) {
   return value;
 }
 
+Status validate_scale(const workloads::WorkloadScale& scale) {
+  if (scale.divisor == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "scale divisor must be >= 1 (0 would be silently clamped)");
+  }
+  return Status::ok_status();
+}
+
 CommonFlags parse_common_flags(int argc, char** argv,
                                const std::vector<std::string>& extra_allowed) {
   CommonFlags flags;
@@ -95,13 +103,17 @@ CommonFlags parse_common_flags(int argc, char** argv,
     };
     if (arg == "--scale") {
       const Result<std::uint32_t> divisor = parse_u32(take_value());
-      if (!divisor.has_value() || *divisor == 0) {
+      if (!divisor.has_value()) {
         std::fprintf(stderr, "%s: invalid value for --scale: %s\n", argv[0],
-                     divisor.has_value() ? "must be >= 1"
-                                         : divisor.status().message().c_str());
+                     divisor.status().message().c_str());
         std::exit(2);
       }
       flags.scale.divisor = *divisor;
+      if (const Status st = validate_scale(flags.scale); !st.ok()) {
+        std::fprintf(stderr, "%s: invalid value for --scale: %s\n", argv[0],
+                     st.message().c_str());
+        std::exit(2);
+      }
     } else if (arg == "--seed") {
       const Result<std::uint64_t> seed = parse_u64(take_value(), 0);
       if (!seed.has_value()) {

@@ -41,6 +41,13 @@ namespace tbp::harness {
 [[nodiscard]] Result<std::uint32_t> parse_u32(const std::string& text);
 [[nodiscard]] Result<double> parse_double(const std::string& text);
 
+/// Validates a WorkloadScale at the parse boundary: kInvalidArgument when
+/// divisor == 0 (the workload builders' documented precondition is
+/// divisor >= 1; it used to be silently clamped to 1, masking the error).
+/// Every --scale consumer routes through this so the rejection message is
+/// uniform across tools.
+[[nodiscard]] Status validate_scale(const workloads::WorkloadScale& scale);
+
 struct CommonFlags {
   workloads::WorkloadScale scale{.divisor = 4, .seed = 0x7b90147};
   std::vector<std::string> benchmarks;  ///< empty = all 12

@@ -99,6 +99,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
                  std::make_move_iterator(result.fixed_units.end()));
   }
   launch_results.clear();
+  row.full_retired_warp_insts = full_insts;
   row.full_sim_seconds = full_timer.seconds();
   row.full_ipc = full_cycles == 0 ? 0.0
                                   : static_cast<double>(full_insts) /

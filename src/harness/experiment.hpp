@@ -60,6 +60,12 @@ struct ExperimentRow {
   std::size_t n_launches = 0;
   std::uint64_t total_blocks = 0;
   std::uint64_t total_warp_insts = 0;
+  /// Warp instructions the *full simulation* retired, summed over launches.
+  /// The functional profiler and the timing simulator walk the same traces,
+  /// so this must equal total_warp_insts (the profiler's count) — the
+  /// differential count oracle in src/fuzz pins the two against each other.
+  /// Like the timing fields, never persisted: cached rows come back with 0.
+  std::uint64_t full_retired_warp_insts = 0;
 
   double full_ipc = 0.0;
   MethodResult random;

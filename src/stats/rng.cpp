@@ -1,5 +1,6 @@
 #include "stats/rng.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <numbers>
 
@@ -65,7 +66,16 @@ std::uint64_t Rng::below(std::uint64_t bound) noexcept {
 }
 
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  assert(lo <= hi && "Rng::range precondition: lo <= hi");
+  if (lo > hi) return lo;  // NDEBUG fallback: degenerate but deterministic
+  // Subtract in uint64 space: hi - lo in int64 overflows (UB) whenever the
+  // span exceeds INT64_MAX; the unsigned difference is well-defined modular
+  // arithmetic and equals the true span for every lo <= hi.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span wraps to 0 exactly when [lo, hi] covers all 2^64 values; below(0)
+  // would return 0 (always yielding lo), so draw a full word instead.
+  if (span == 0) return static_cast<std::int64_t>(next());
   return lo + static_cast<std::int64_t>(below(span));
 }
 

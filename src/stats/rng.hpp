@@ -47,7 +47,11 @@ class Rng {
   /// Uniform integer in [0, bound) via Lemire's rejection method (unbiased).
   [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi
+  /// (debug-asserted; release builds return `lo` for an inverted range).
+  /// The full-width span [INT64_MIN, INT64_MAX] is supported: the span
+  /// arithmetic is done in uint64 space, so it neither overflows nor
+  /// degenerates to always returning `lo`.
   [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Standard normal via Box-Muller (cached second variate).

@@ -1,6 +1,7 @@
 #include "workloads/common.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <utility>
 
@@ -8,8 +9,13 @@ namespace tbp::workloads::detail {
 
 std::uint32_t scaled_blocks(std::uint32_t original,
                             const WorkloadScale& scale) noexcept {
+  // Precondition (debug-asserted, enforced for callers by make_workload and
+  // the strict CLI parsers): divisor >= 1.  A zero divisor used to be
+  // silently clamped to 1 here, masking caller bugs as "unscaled" runs.
+  assert(scale.divisor >= 1 && "WorkloadScale::divisor must be >= 1");
+  const std::uint32_t divisor = scale.divisor == 0 ? 1u : scale.divisor;
   const std::uint32_t floor_blocks = std::min(original, kMinBlocksPerLaunch);
-  return std::max(original / std::max(scale.divisor, 1u), floor_blocks);
+  return std::max(original / divisor, floor_blocks);
 }
 
 std::unique_ptr<trace::SyntheticLaunch> make_launch(

@@ -1,0 +1,169 @@
+#include "workloads/parametric.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "stats/rng.hpp"
+#include "workloads/common.hpp"
+
+namespace tbp::workloads {
+namespace {
+
+/// Substream tags for the per-launch RNG streams; offset so they can never
+/// collide with the named models' workload_rng streams.
+constexpr std::uint64_t kLaunchStreamTag = 0x70a2'0000ULL;
+
+[[nodiscard]] trace::BlockBehavior base_behavior(const LaunchSpec& spec) {
+  trace::BlockBehavior b;
+  b.loop_iterations = spec.base_iterations;
+  b.alu_per_iteration = spec.alu_per_iteration;
+  b.sfu_per_iteration = spec.sfu_per_iteration;
+  b.mem_per_iteration = spec.mem_per_iteration;
+  b.stores_per_iteration = spec.stores_per_iteration;
+  b.shared_per_iteration = spec.shared_per_iteration;
+  b.branch_divergence = spec.branch_divergence;
+  b.lines_per_access = spec.lines_per_access;
+  b.pattern = spec.address;
+  b.working_set_lines = spec.working_set_lines;
+  b.barrier_per_iteration = spec.barrier_per_iteration;
+  if (spec.address == trace::AddressPattern::kRandom) {
+    // Random-pattern blocks share one data region (graph-workload shape);
+    // streaming/strided blocks keep their disjoint default partitions.
+    b.region_base_line = 1u << 22;
+  }
+  return b;
+}
+
+}  // namespace
+
+const char* block_pattern_name(BlockPattern pattern) noexcept {
+  switch (pattern) {
+    case BlockPattern::kRegular: return "regular";
+    case BlockPattern::kIrregular: return "irregular";
+    case BlockPattern::kOutlierHeavy: return "outlier-heavy";
+  }
+  return "regular";
+}
+
+Result<BlockPattern> block_pattern_from_name(std::string_view name) {
+  if (name == "regular") return BlockPattern::kRegular;
+  if (name == "irregular") return BlockPattern::kIrregular;
+  if (name == "outlier-heavy") return BlockPattern::kOutlierHeavy;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown block pattern '" + std::string(name) + "'");
+}
+
+std::uint64_t WorkloadSpec::total_blocks() const noexcept {
+  std::uint64_t total = 0;
+  for (const LaunchSpec& launch : launches) total += launch.n_blocks;
+  return total;
+}
+
+Status validate_spec(const WorkloadSpec& spec) {
+  const auto reject = [&](std::size_t launch, const std::string& what) {
+    return Status(StatusCode::kInvalidArgument,
+                  "spec '" + spec.name + "' launch " + std::to_string(launch) +
+                      ": " + what);
+  };
+  if (spec.launches.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "spec '" + spec.name + "' has no launches");
+  }
+  if (spec.launches.size() > kMaxSpecLaunches) {
+    return Status(StatusCode::kInvalidArgument,
+                  "spec '" + spec.name + "' has too many launches");
+  }
+  for (std::size_t i = 0; i < spec.launches.size(); ++i) {
+    const LaunchSpec& l = spec.launches[i];
+    if (l.n_blocks < 1 || l.n_blocks > kMaxSpecBlocksPerLaunch) {
+      return reject(i, "n_blocks out of [1, 2^20]");
+    }
+    if (l.threads_per_block < trace::kWarpSize || l.threads_per_block > 1024 ||
+        l.threads_per_block % trace::kWarpSize != 0) {
+      return reject(i, "threads_per_block must be a multiple of 32 in [32, 1024]");
+    }
+    if (l.base_iterations < 1 || l.base_iterations > kMaxSpecIterations) {
+      return reject(i, "base_iterations out of [1, 4096]");
+    }
+    if (l.alu_per_iteration > kMaxSpecOpsPerIteration ||
+        l.sfu_per_iteration > kMaxSpecOpsPerIteration ||
+        l.mem_per_iteration > kMaxSpecOpsPerIteration ||
+        l.stores_per_iteration > kMaxSpecOpsPerIteration ||
+        l.shared_per_iteration > kMaxSpecOpsPerIteration) {
+      return reject(i, "per-iteration op count above 256");
+    }
+    if (!(l.branch_divergence >= 0.0 && l.branch_divergence <= 1.0)) {
+      return reject(i, "branch_divergence outside [0, 1]");
+    }
+    if (l.lines_per_access < 1 || l.lines_per_access > trace::kWarpSize) {
+      return reject(i, "lines_per_access outside [1, 32]");
+    }
+    if (l.working_set_lines > kMaxSpecWorkingSetLines) {
+      return reject(i, "working_set_lines above 2^28");
+    }
+    if (!(l.outlier_fraction >= 0.0 && l.outlier_fraction <= 1.0)) {
+      return reject(i, "outlier_fraction outside [0, 1]");
+    }
+    if (l.outlier_multiplier < 1) {
+      return reject(i, "outlier_multiplier must be >= 1");
+    }
+    if (static_cast<std::uint64_t>(l.base_iterations) * l.outlier_multiplier >
+        kMaxSpecIterations) {
+      return reject(i, "base_iterations * outlier_multiplier above 4096");
+    }
+  }
+  return Status::ok_status();
+}
+
+Workload build_workload(const WorkloadSpec& spec) {
+  assert(validate_spec(spec).ok() && "build_workload requires a valid spec");
+
+  Workload workload;
+  workload.name = spec.name;
+  workload.suite = "parametric";
+  workload.type = KernelType::kRegular;
+
+  for (std::size_t l = 0; l < spec.launches.size(); ++l) {
+    const LaunchSpec& launch = spec.launches[l];
+    if (launch.pattern != BlockPattern::kRegular) {
+      workload.type = KernelType::kIrregular;
+    }
+
+    trace::KernelInfo kernel = trace::make_synthetic_kernel_info(
+        spec.name + "_k" + std::to_string(l));
+    kernel.threads_per_block = launch.threads_per_block;
+
+    // Per-launch stream, independent of every other launch and of how many
+    // launches precede it, so dropping launches (the shrinker's first move)
+    // never perturbs the survivors' traces.
+    stats::Rng rng = stats::Rng(spec.seed).substream(kLaunchStreamTag + l);
+
+    const trace::BlockBehavior base = base_behavior(launch);
+    std::vector<trace::BlockBehavior> behaviors(launch.n_blocks, base);
+    switch (launch.pattern) {
+      case BlockPattern::kRegular:
+        break;
+      case BlockPattern::kIrregular:
+        // Per-block work with no pattern against block id (Fig. 8b):
+        // uniform in [1, 2 * base_iterations].
+        for (trace::BlockBehavior& b : behaviors) {
+          b.loop_iterations = 1 + static_cast<std::uint32_t>(
+                                      rng.below(2 * launch.base_iterations));
+        }
+        break;
+      case BlockPattern::kOutlierHeavy:
+        for (trace::BlockBehavior& b : behaviors) {
+          if (rng.uniform() < launch.outlier_fraction) {
+            b.loop_iterations = launch.base_iterations * launch.outlier_multiplier;
+          }
+        }
+        break;
+    }
+
+    workload.launches.push_back(detail::make_launch(
+        kernel, spec.seed ^ (0xfa2b'0000ULL + l), std::move(behaviors)));
+  }
+  return workload;
+}
+
+}  // namespace tbp::workloads

@@ -1,0 +1,98 @@
+// Parameterized workload builders: the open scenario space behind the 12
+// named Table VI models.
+//
+// A WorkloadSpec is a declarative description of a multi-launch workload —
+// launch count, per-launch thread-block counts and TB-size patterns
+// (regular / irregular / outlier-heavy, Fig. 8), divergence / coalescing /
+// memory-intensity knobs, and the stochastic seed.  build_workload
+// materializes it through the same trace::SyntheticLaunch machinery the
+// named models use, so everything downstream (profiler, simulator, TBPoint
+// pipeline) treats generated workloads exactly like the curated dozen.
+//
+// Specs exist for two consumers: the src/fuzz random generator samples
+// them, and the failing-seed minimizer shrinks them — which is why the
+// description is a plain value type (copyable, comparable field-by-field,
+// serializable by src/fuzz/spec_io) rather than a closure.
+//
+// Determinism contract: build_workload is a pure function of the spec.
+// Equal specs produce launches whose block traces are byte-identical,
+// whatever process, thread or --jobs value builds them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+#include "trace/generator.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::workloads {
+
+/// TB-size pattern of one launch against block id (paper Fig. 8):
+/// regular = all blocks equal work; irregular = per-block work drawn
+/// independently with no pattern; outlier-heavy = regular plus a small
+/// fraction of much heavier blocks (the hub-block shape the variation
+/// factor is designed to catch).
+enum class BlockPattern : std::uint8_t { kRegular, kIrregular, kOutlierHeavy };
+
+/// Stable lowercase name ("regular", "irregular", "outlier-heavy").
+[[nodiscard]] const char* block_pattern_name(BlockPattern pattern) noexcept;
+/// Inverse of block_pattern_name; kInvalidArgument for unknown names.
+[[nodiscard]] Result<BlockPattern> block_pattern_from_name(std::string_view name);
+
+/// One launch of a parameterized workload.  Field ranges are enforced by
+/// validate_spec; the defaults describe a small, well-behaved launch.
+struct LaunchSpec {
+  std::uint32_t n_blocks = 24;
+  std::uint32_t threads_per_block = 256;  ///< multiple of 32, in [32, 1024]
+  BlockPattern pattern = BlockPattern::kRegular;
+
+  std::uint32_t base_iterations = 8;      ///< loop trip count, >= 1
+  std::uint32_t alu_per_iteration = 4;
+  std::uint32_t sfu_per_iteration = 0;
+  std::uint32_t mem_per_iteration = 2;
+  std::uint32_t stores_per_iteration = 1;
+  std::uint32_t shared_per_iteration = 0;
+  double branch_divergence = 0.0;         ///< in [0, 1]
+  std::uint8_t lines_per_access = 1;      ///< coalescing degree, 1..32
+  trace::AddressPattern address = trace::AddressPattern::kStreaming;
+  std::uint64_t working_set_lines = 1u << 12;
+  bool barrier_per_iteration = false;
+
+  /// Outlier-heavy pattern only: the fraction of blocks that are heavy
+  /// (in [0, 1]) and how much heavier they are (>= 1).
+  double outlier_fraction = 0.02;
+  std::uint32_t outlier_multiplier = 8;
+};
+
+/// A whole parameterized workload: an ordered launch sequence plus the seed
+/// that fixes every stochastic choice (irregular per-block draws,
+/// divergence rolls, random addresses).
+struct WorkloadSpec {
+  std::string name = "parametric";
+  std::uint64_t seed = 0;
+  std::vector<LaunchSpec> launches;
+
+  [[nodiscard]] std::uint64_t total_blocks() const noexcept;
+};
+
+/// Hard caps validate_spec enforces, chosen so a valid spec can always be
+/// profiled and fully simulated in bounded memory/time.
+inline constexpr std::size_t kMaxSpecLaunches = 4096;
+inline constexpr std::uint32_t kMaxSpecBlocksPerLaunch = 1u << 20;
+inline constexpr std::uint32_t kMaxSpecIterations = 4096;
+inline constexpr std::uint32_t kMaxSpecOpsPerIteration = 256;
+inline constexpr std::uint64_t kMaxSpecWorkingSetLines = 1u << 28;
+
+/// Structural validation: non-empty launch list, every numeric field within
+/// its documented range.  build_workload requires (and debug-asserts) an OK
+/// spec; external spec sources (reproducer files, shrinker candidates) must
+/// validate before building.
+[[nodiscard]] Status validate_spec(const WorkloadSpec& spec);
+
+/// Materializes the spec.  The workload is classified irregular (Fig. 8
+/// Type I) when any launch's pattern is non-regular.
+[[nodiscard]] Workload build_workload(const WorkloadSpec& spec);
+
+}  // namespace tbp::workloads

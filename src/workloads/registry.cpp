@@ -28,6 +28,13 @@ const std::vector<std::string>& workload_names() {
 }
 
 Workload make_workload(std::string_view name, const WorkloadScale& scale) {
+  // Strict: a zero divisor is a caller bug (the CLI layers reject it with a
+  // Status before it gets here); aborting matches the unknown-name policy
+  // below instead of silently clamping to 1 as scaled_blocks used to.
+  if (scale.divisor == 0) {
+    std::fprintf(stderr, "make_workload: scale divisor must be >= 1\n");
+    std::abort();
+  }
   using Builder = Workload (*)(const WorkloadScale&);
   struct Entry {
     std::string_view name;

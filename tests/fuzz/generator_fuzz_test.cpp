@@ -1,0 +1,162 @@
+// Generator and spec-serialization invariants: every seed maps to a valid
+// spec, the mapping is deterministic, the sampled space actually covers the
+// structure dimensions (shapes, patterns), and reproducer files round-trip.
+#include "fuzz/generate.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/spec_io.hpp"
+#include "obs/report.hpp"
+#include "stats/rng.hpp"
+
+namespace tbp::fuzz {
+namespace {
+
+/// Canonical bytes of a spec (object keys sorted, shortest doubles), so
+/// structural equality is byte equality.
+std::string spec_bytes(const workloads::WorkloadSpec& spec) {
+  return obs::json_serialize(spec_to_value(spec));
+}
+
+std::uint64_t nth_seed(std::uint64_t base, std::uint64_t n) {
+  std::uint64_t state = base + n;
+  return stats::splitmix64(state);
+}
+
+TEST(GenerateTest, EverySeedProducesAValidSpec) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const workloads::WorkloadSpec spec = generate_spec(nth_seed(0x7b90147, i));
+    EXPECT_TRUE(workloads::validate_spec(spec).ok())
+        << "seed " << spec.seed << ": "
+        << workloads::validate_spec(spec).to_string();
+    EXPECT_GE(spec.launches.size(), 1u);
+    EXPECT_LE(spec.launches.size(), GeneratorLimits{}.max_launches);
+  }
+}
+
+TEST(GenerateTest, SameSeedIsByteIdentical) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const std::uint64_t seed = nth_seed(42, i);
+    EXPECT_EQ(spec_bytes(generate_spec(seed)), spec_bytes(generate_spec(seed)));
+  }
+}
+
+TEST(GenerateTest, DistinctSeedsDiffer) {
+  std::set<std::string> distinct;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    distinct.insert(spec_bytes(generate_spec(nth_seed(0x7b90147, i))));
+  }
+  // Collisions would mean the sampler ignores most of its seed.
+  EXPECT_GE(distinct.size(), 31u);
+}
+
+TEST(GenerateTest, CoversEveryEvolutionShapeAndPattern) {
+  std::set<EvolutionShape> shapes;
+  std::set<workloads::BlockPattern> patterns;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t seed = nth_seed(0x7b90147, i);
+    shapes.insert(evolution_for_seed(seed));
+    for (const workloads::LaunchSpec& l : generate_spec(seed).launches) {
+      patterns.insert(l.pattern);
+    }
+  }
+  EXPECT_EQ(shapes.size(), 4u) << "an evolution shape is never sampled";
+  EXPECT_EQ(patterns.size(), 3u) << "a block pattern is never sampled";
+}
+
+TEST(GenerateTest, RespectsTightLimits) {
+  GeneratorLimits limits;
+  limits.min_launches = 2;
+  limits.max_launches = 3;
+  limits.min_blocks_per_launch = 4;
+  limits.max_blocks_per_launch = 8;
+  limits.max_base_iterations = 2;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const workloads::WorkloadSpec spec =
+        generate_spec(nth_seed(7, i), limits);
+    EXPECT_GE(spec.launches.size(), 2u);
+    EXPECT_LE(spec.launches.size(), 3u);
+    for (const workloads::LaunchSpec& l : spec.launches) {
+      EXPECT_GE(l.n_blocks, 4u);
+      EXPECT_LE(l.n_blocks, 8u);
+      EXPECT_LE(l.base_iterations, 2u);
+    }
+  }
+}
+
+TEST(GenerateTest, SeedNameIsStable) {
+  EXPECT_EQ(seed_workload_name(0), "fuzz-0000000000000000");
+  EXPECT_EQ(seed_workload_name(0xdeadbeef12345678ULL),
+            "fuzz-deadbeef12345678");
+}
+
+TEST(SpecIoTest, RoundTripsThroughJson) {
+  const workloads::WorkloadSpec spec = generate_spec(nth_seed(0x7b90147, 3));
+  const Result<workloads::WorkloadSpec> decoded =
+      spec_from_value(spec_to_value(spec));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(spec_bytes(spec), spec_bytes(*decoded));
+}
+
+TEST(SpecIoTest, RejectsStructurallyBrokenValues) {
+  EXPECT_EQ(spec_from_value(obs::JsonValue("not an object")).status().code(),
+            StatusCode::kCorrupt);
+
+  obs::JsonValue missing = obs::JsonValue::object();
+  missing.set("name", "x");
+  EXPECT_FALSE(spec_from_value(missing).ok());
+
+  // A decoded spec that violates the documented ranges is rejected even
+  // when structurally well-formed (hand-edited reproducer files).
+  workloads::WorkloadSpec bad = generate_spec(nth_seed(0x7b90147, 4));
+  bad.launches[0].threads_per_block = 33;  // not a warp multiple
+  EXPECT_EQ(spec_from_value(spec_to_value(bad)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpecIoTest, ReproducerFileRoundTrips) {
+  const workloads::WorkloadSpec spec = generate_spec(nth_seed(0x7b90147, 5));
+  const std::string path =
+      testing::TempDir() + "/tbp_fuzz_repro_roundtrip.json";
+  ASSERT_TRUE(save_reproducer(spec, spec.seed, "accuracy", path).ok());
+
+  const Result<Reproducer> loaded = load_reproducer(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->seed, spec.seed);
+  EXPECT_EQ(loaded->violation, "accuracy");
+  EXPECT_EQ(spec_bytes(loaded->spec), spec_bytes(spec));
+}
+
+TEST(SpecIoTest, ReproducerLoaderQuarantinesCorruptFiles) {
+  EXPECT_FALSE(load_reproducer(testing::TempDir() + "/does_not_exist.json").ok());
+
+  const std::string path = testing::TempDir() + "/tbp_fuzz_repro_corrupt.json";
+  const workloads::WorkloadSpec spec = generate_spec(nth_seed(0x7b90147, 6));
+  ASSERT_TRUE(save_reproducer(spec, spec.seed, "counts", path).ok());
+  // Flip one byte inside the sealed body: the CRC must catch it.
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1 << 14];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  const std::size_t pos = text.find("\"seed\"");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 1] ^= 1;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+  }
+  EXPECT_EQ(load_reproducer(path).status().code(), StatusCode::kCorrupt);
+}
+
+}  // namespace
+}  // namespace tbp::fuzz

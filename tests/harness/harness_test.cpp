@@ -321,6 +321,27 @@ TEST(CliTest, DefaultsToAllBenchmarks) {
   EXPECT_EQ(flags.cache_dir, "tbpoint_cache");
 }
 
+TEST(CliTest, ValidateScaleRejectsZeroDivisor) {
+  workloads::WorkloadScale scale;
+  scale.divisor = 0;
+  const Status st = validate_scale(scale);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  scale.divisor = 1;
+  EXPECT_TRUE(validate_scale(scale).ok());
+  scale.divisor = 64;
+  EXPECT_TRUE(validate_scale(scale).ok());
+}
+
+TEST(CliTest, ScaleZeroExitsWithUsageError) {
+  // parse_common_flags exits(2) on --scale 0, so drive it in a death test;
+  // the message names the flag so the user knows what to fix.
+  const char* argv[] = {"prog", "--scale", "0"};
+  EXPECT_EXIT((void)parse_common_flags(3, const_cast<char**>(argv)),
+              testing::ExitedWithCode(2), "invalid value for --scale");
+}
+
 TEST(CliTest, StrictU64Parsing) {
   ASSERT_TRUE(parse_u64("42").has_value());
   EXPECT_EQ(*parse_u64("42"), 42u);

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "trace/kernel.hpp"
+#include "trace/validate.hpp"
 
 namespace tbp::trace {
 namespace {
@@ -239,6 +240,77 @@ TEST(GeneratorTest, SfuInstructionsEmitted) {
   int sfu = 0;
   for (const WarpInst& inst : trace.warps[0]) sfu += inst.op == Op::kSfu;
   EXPECT_EQ(sfu, 10);  // 2 per iteration * 5 iterations
+}
+
+// ---- Edge cases the fuzzer's random parameters reach ----
+
+TEST(GeneratorTest, ZeroWorkingSetRandomPatternIsSafe) {
+  // working_set_lines == 0 must not divide by zero (per-warp slice size) or
+  // call below(0); every random access degenerates to the block base line.
+  BlockBehavior behavior = simple_behavior();
+  behavior.pattern = AddressPattern::kRandom;
+  behavior.working_set_lines = 0;
+  behavior.region_base_line = 7777;
+  const SyntheticLaunch launch = make_simple_launch(2, behavior);
+  const BlockTrace trace = launch.block_trace(1);
+  for (const auto& stream : trace.warps) {
+    for (const WarpInst& inst : stream) {
+      if (is_global_memory(inst.op)) {
+        EXPECT_EQ(inst.mem.base_line, 7777u);
+      }
+    }
+  }
+  EXPECT_TRUE(validate_block_trace(launch.kernel(), trace).ok());
+}
+
+TEST(GeneratorTest, ZeroWorkingSetStreamingPatternIsSafe) {
+  BlockBehavior behavior = simple_behavior();
+  behavior.pattern = AddressPattern::kStreaming;
+  behavior.working_set_lines = 0;
+  const SyntheticLaunch launch = make_simple_launch(1, behavior);
+  const BlockTrace trace = launch.block_trace(0);
+  EXPECT_GT(trace.memory_request_count(), 0u);
+  EXPECT_TRUE(validate_block_trace(launch.kernel(), trace).ok());
+}
+
+TEST(GeneratorTest, CertainDivergenceSplitsEveryIteration) {
+  // branch_divergence == 1.0: the divergent path executes on every
+  // iteration, and the split never produces a zero-thread instruction.
+  BlockBehavior behavior = simple_behavior();
+  behavior.branch_divergence = 1.0;
+  const SyntheticLaunch launch = make_simple_launch(1, behavior);
+  const BlockTrace trace = launch.block_trace(0);
+  for (const auto& stream : trace.warps) {
+    std::uint32_t divergent_alu = 0;
+    for (const WarpInst& inst : stream) {
+      ASSERT_GE(inst.active_threads, 1u);
+      ASSERT_LE(inst.active_threads, kWarpSize);
+      if (inst.bb_id == kBbDivergent &&
+          (inst.op == Op::kIntAlu || inst.op == Op::kFloatAlu)) {
+        ++divergent_alu;
+      }
+    }
+    // alu_per_iteration (3) copies per iteration, 5 iterations.
+    EXPECT_EQ(divergent_alu, 15u);
+  }
+  EXPECT_TRUE(validate_block_trace(launch.kernel(), trace).ok());
+}
+
+TEST(GeneratorTest, SingleBlockLaunchIsWellFormed) {
+  BlockBehavior behavior = simple_behavior();
+  behavior.branch_divergence = 1.0;
+  behavior.pattern = AddressPattern::kRandom;
+  behavior.working_set_lines = 0;  // both edge cases composed
+  const SyntheticLaunch launch = make_simple_launch(1, behavior, 991);
+  ASSERT_EQ(launch.n_blocks(), 1u);
+  const ValidationReport report = validate_launch(launch);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  const BlockTrace trace = launch.block_trace(0);
+  EXPECT_EQ(trace.warps.size(), launch.kernel().warps_per_block());
+  for (const auto& stream : trace.warps) {
+    ASSERT_FALSE(stream.empty());
+    EXPECT_EQ(stream.back().op, Op::kExit);
+  }
 }
 
 TEST(GeneratorTest, BasicBlockIdsWithinRange) {

@@ -193,8 +193,9 @@ std::size_t jobs_from_flags(int argc, char** argv) {
 workloads::WorkloadScale scale_from_flags(int argc, char** argv) {
   workloads::WorkloadScale scale;
   scale.divisor = flag_u32(argc, argv, "--scale", 4);
-  if (scale.divisor == 0) {
-    std::fprintf(stderr, "tbpoint_cli: invalid value for --scale: must be >= 1\n");
+  if (const Status st = harness::validate_scale(scale); !st.ok()) {
+    std::fprintf(stderr, "tbpoint_cli: invalid value for --scale: %s\n",
+                 st.message().c_str());
     std::exit(2);
   }
   const Result<std::uint64_t> seed = harness::parse_u64(
