@@ -11,7 +11,10 @@
 // position in the benchmark list, never by completion order, and
 // cached_comparison's once-per-key guard keeps concurrent requests for one
 // key down to one computation.  Only the stderr progress interleaving and
-// the wall-clock timing fields depend on jobs.
+// the wall-clock timing fields depend on jobs.  --sim-jobs additionally
+// shards the SMs *inside* each launch simulation (serial-exact replay; see
+// DESIGN.md "Intra-launch parallel simulation") with the same bit-identity
+// guarantee.
 #pragma once
 
 #include <cstdio>
@@ -195,6 +198,9 @@ inline std::vector<harness::ExperimentRow> collect_rows(
   const timing::WallTimer timer;
   par::set_global_jobs(flags.jobs);
   options.jobs = flags.jobs;
+  // Like --jobs, --sim-jobs is bit-identity-preserving and so deliberately
+  // absent from flags_config_value (the manifest config key).
+  options.sim_jobs = flags.sim_jobs;
   const std::unique_ptr<obs::Observation> observe = make_observation(flags);
   const std::vector<std::string>& names = flags.benchmark_list();
   std::vector<harness::ExperimentRow> rows(names.size());

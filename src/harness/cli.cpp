@@ -145,6 +145,16 @@ CommonFlags parse_common_flags(int argc, char** argv,
         std::exit(2);
       }
       flags.jobs = *jobs;
+    } else if (arg == "--sim-jobs") {
+      const Result<std::uint32_t> sim_jobs = parse_u32(take_value());
+      if (!sim_jobs.has_value() || *sim_jobs == 0) {
+        std::fprintf(stderr, "%s: invalid value for --sim-jobs: %s\n", argv[0],
+                     sim_jobs.has_value()
+                         ? "must be >= 1"
+                         : sim_jobs.status().message().c_str());
+        std::exit(2);
+      }
+      flags.sim_jobs = *sim_jobs;
     } else if (arg == "--metrics") {
       flags.metrics_path = take_value();
     } else if (arg == "--trace") {
@@ -168,7 +178,7 @@ CommonFlags parse_common_flags(int argc, char** argv,
       }
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--seed S] [--benchmarks a,b,...] "
-                   "[--no-cache] [--cache-dir PATH] [--jobs N] "
+                   "[--no-cache] [--cache-dir PATH] [--jobs N] [--sim-jobs N] "
                    "[--metrics PATH] [--trace PATH] [--manifest PATH] "
                    "[--perf-json PATH]\n",
                    argv[0]);

@@ -63,6 +63,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   par::parallel_for(sources.size(), options.jobs, [&](std::size_t i) {
     sim::GpuSimulator launch_sim(full_config);
     sim::RunOptions run_options;
+    run_options.sim_jobs = options.sim_jobs;
     if constexpr (obs::kEnabled) {
       if (options.observe != nullptr) {
         // Per-launch shard/buffer keyed by launch index: the merge order is
@@ -133,6 +134,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
   const timing::WallTimer tbp_sim_timer;
   core::TBPointOptions tbp_options = options.tbpoint;
   tbp_options.jobs = options.jobs;
+  tbp_options.sim_jobs = options.sim_jobs;
   if constexpr (obs::kEnabled) {
     if (options.observe != nullptr) {
       tbp_options.observe = options.observe;

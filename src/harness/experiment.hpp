@@ -38,6 +38,11 @@ struct ComparisonOptions {
   /// collected by launch index, never by completion order) — only the
   /// wall-clock timing fields vary.
   std::size_t jobs = 1;
+  /// Worker threads sharding SMs inside each launch simulation (1 = the
+  /// serial engine).  The sharded engine replays every cross-SM interaction
+  /// in the serial order, so like `jobs` this is bit-identity-preserving
+  /// and excluded from the experiment cache key.
+  std::uint32_t sim_jobs = 1;
   /// Optional observability session shared by every simulation this
   /// comparison runs (null = off).  Shard/buffer keys are prefixed with the
   /// workload name, so one session can span many rows; pure observers, so

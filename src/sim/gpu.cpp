@@ -1,89 +1,16 @@
 #include "sim/gpu.hpp"
 
 #include <cassert>
-#include <optional>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
+#include "sim/launch_engine.hpp"
 #include "trace/occupancy.hpp"
 
 namespace tbp::sim {
 namespace {
-
-/// Tracks the designated block for thread-block-delimited sampling units
-/// (paper Section IV-B2): the unit is the interval between the start and
-/// the end of a *specified* thread block.  The first specified block is the
-/// very first dispatched block; when the specified block retires, the unit
-/// closes and the next dispatched block becomes the new specified block.
-/// Because the specified block executes the whole kernel code, each unit
-/// spans a full block lifetime — long enough for its machine-wide IPC to be
-/// a stable sample (tens of concurrent blocks' throughput averaged over
-/// thousands of cycles), which is what the warming comparison relies on.
-class UnitTracker {
- public:
-  void on_dispatch(std::uint32_t block_id, std::uint64_t cycle,
-                   const GlobalMeter& meter) {
-    if (unit_open_) return;
-    unit_open_ = true;
-    designated_ = block_id;
-    start_cycle_ = cycle;
-    start_insts_ = meter.warp_insts;
-  }
-
-  /// Returns true (and fills `unit`) when this retirement closes a unit.
-  bool on_retire(std::uint32_t block_id, std::uint64_t cycle,
-                 const GlobalMeter& meter, SamplingUnit& unit) {
-    if (!unit_open_ || block_id != designated_) return false;
-    unit = SamplingUnit{
-        .start_cycle = start_cycle_,
-        .end_cycle = cycle,
-        .warp_insts = meter.warp_insts - start_insts_,
-        .end_block_id = block_id,
-    };
-    unit_open_ = false;  // the next dispatch re-opens
-    return true;
-  }
-
-  /// Closes the trailing partial unit (the drain after the last designated
-  /// block, or a launch whose designated block never retired) so units tile
-  /// the whole simulation.  Returns false if nothing is open or the tail is
-  /// empty.
-  bool close_tail(std::uint64_t cycle, const GlobalMeter& meter,
-                  SamplingUnit& unit) {
-    if (!unit_open_ && meter.warp_insts == last_tail_insts_) return false;
-    const std::uint64_t start =
-        unit_open_ ? start_cycle_ : last_tail_cycle_;
-    const std::uint64_t start_insts =
-        unit_open_ ? start_insts_ : last_tail_insts_;
-    if (meter.warp_insts == start_insts) return false;
-    unit = SamplingUnit{
-        .start_cycle = start,
-        .end_cycle = cycle,
-        .warp_insts = meter.warp_insts - start_insts,
-        .end_block_id = kTailUnit,
-    };
-    unit_open_ = false;
-    return true;
-  }
-
-  /// Records where the last closed unit ended so close_tail can account for
-  /// drain instructions issued after it.
-  void note_close(std::uint64_t cycle, const GlobalMeter& meter) {
-    last_tail_cycle_ = cycle;
-    last_tail_insts_ = meter.warp_insts;
-  }
-
-  static constexpr std::uint32_t kTailUnit = 0xffffffffu;
-
- private:
-  bool unit_open_ = false;
-  std::uint32_t designated_ = 0;
-  std::uint64_t start_cycle_ = 0;
-  std::uint64_t start_insts_ = 0;
-  std::uint64_t last_tail_cycle_ = 0;
-  std::uint64_t last_tail_insts_ = 0;
-};
 
 /// FR-FCFS queue-depth histogram bucket edges (requests at each scheduling
 /// decision; power-of-two spacing covers idle through saturated channels).
@@ -128,71 +55,33 @@ std::string WatchdogDiagnostic::to_string() const {
   return out.str();
 }
 
-GpuSimulator::GpuSimulator(const GpuConfig& config) : config_(config) {}
+namespace detail {
 
-LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
-                                      const RunOptions& options) {
-  Result<LaunchResult> result = run_launch_checked(launch, options);
-  if (!result.has_value()) {
-    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
-    std::abort();
-  }
-  return *std::move(result);
-}
-
-Result<LaunchResult> GpuSimulator::run_launch_checked(
-    const trace::LaunchTraceSource& launch, const RunOptions& options,
-    WatchdogDiagnostic* diagnostic) {
+Status LaunchEngine::init() {
   const trace::KernelInfo& kernel = launch.kernel();
-  const std::uint32_t occupancy =
-      trace::sm_occupancy(kernel, config_.sm_resources);
+  occupancy = trace::sm_occupancy(kernel, config.sm_resources);
   if (occupancy == 0) {
     return Status(StatusCode::kInvalidArgument,
                   "kernel " + kernel.name + " exceeds per-SM resources");
   }
 
-  MemorySystem memory(config_);
-  GlobalMeter meter;
-  if (config_.fixed_unit_insts > 0) {
+  if (config.fixed_unit_insts > 0) {
     meter.fixed_unit_bbv.assign(kernel.n_basic_blocks, 0);
   }
 
-  std::vector<SmCore> sms;
-  sms.reserve(config_.n_sms);
-  for (std::uint32_t s = 0; s < config_.n_sms; ++s) {
-    sms.emplace_back(s, config_, memory, meter);
+  sms.reserve(config.n_sms);
+  for (std::uint32_t s = 0; s < config.n_sms; ++s) {
+    sms.emplace_back(s, config, memory, meter);
     sms.back().configure_launch(occupancy, kernel.warps_per_block());
   }
 
-  LaunchResult result;
   result.sm_occupancy = occupancy;
-  result.system_occupancy = occupancy * config_.n_sms;
+  result.system_occupancy = occupancy * config.n_sms;
 
-  UnitTracker units;
-  SimController default_controller;
-  SimController* controller =
-      options.controller != nullptr ? options.controller : &default_controller;
+  controller = options.controller != nullptr ? options.controller
+                                             : &default_controller;
+  n_blocks = launch.n_blocks();
 
-  const std::uint32_t n_blocks = launch.n_blocks();
-  std::uint32_t next_block = 0;
-  std::uint64_t cycle = 0;
-  std::uint64_t fixed_unit_start_cycle = 0;
-  std::uint64_t fixed_unit_start_insts = 0;
-  std::uint64_t fixed_unit_start_threads = 0;
-  std::optional<BlockAction> pending_action;
-  std::vector<MemCompletion> completions;
-
-  // --- Observability (pure observers: nothing below feeds back into a
-  // timing decision, so attaching it never changes the simulation). -------
-  obs::MetricsShard* shard = nullptr;
-  obs::TraceBuffer* timeline = nullptr;
-  std::uint32_t trace_pid = 0;
-  std::vector<SmStallStats> stall_stats;
-  struct TbDispatch {
-    std::uint64_t cycle = 0;
-    std::uint32_t sm = 0;
-  };
-  std::vector<TbDispatch> tb_dispatch;  ///< by block id, trace capture only
   if constexpr (obs::kEnabled) {
     shard = options.observe.metrics;
     timeline = options.observe.trace;
@@ -207,102 +96,160 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
     }
     if (timeline != nullptr) {
       tb_dispatch.resize(n_blocks);
-      for (std::uint32_t s = 0; s < config_.n_sms; ++s) {
+      for (std::uint32_t s = 0; s < config.n_sms; ++s) {
         timeline->thread_name(trace_pid, s, "SM " + std::to_string(s));
       }
       // One synthetic row past the SMs for machine-wide unit boundaries.
-      timeline->thread_name(trace_pid, config_.n_sms, "sampling-units");
+      timeline->thread_name(trace_pid, config.n_sms, "sampling-units");
     }
   }
+  return Status();
+}
 
-  // Forward-progress watchdog state: progress is an issued instruction, a
-  // dispatched block, or a retired block.
-  std::uint64_t retired_blocks = 0;
-  std::uint64_t last_progress_cycle = 0;
-  std::uint64_t seen_warp_insts = 0;
-  std::uint32_t seen_next_block = 0;
-  std::uint64_t seen_retired_blocks = 0;
+bool LaunchEngine::next_simulated_block(std::uint64_t now) {
+  while (next_block < n_blocks) {
+    if (!pending_action.has_value()) {
+      pending_action = controller->on_block_dispatch(next_block, now);
+    }
+    if (*pending_action != BlockAction::kSkip) return true;
+    pending_action.reset();
+    result.skipped_blocks.push_back(next_block);
+    controller->on_block_retire(next_block, now, /*was_skipped=*/true);
+    ++next_block;
+  }
+  return false;
+}
 
-  const auto fill_diagnostic = [&](std::uint64_t stalled) {
-    WatchdogDiagnostic diag;
-    diag.triggered = true;
-    diag.cycle = cycle;
-    diag.stalled_cycles = stalled;
-    diag.dispatched_blocks = next_block;
-    diag.n_blocks = n_blocks;
-    diag.warp_insts = meter.warp_insts;
-    diag.sms.reserve(sms.size());
-    for (const SmCore& sm : sms) diag.sms.push_back(sm.debug_state());
-    if (diagnostic != nullptr) *diagnostic = diag;
-    return diag;
-  };
+void LaunchEngine::dispatch_pending_into(std::uint32_t sm_id, std::uint64_t now) {
+  pending_action.reset();
+  sms[sm_id].dispatch_block(next_block, launch.block_trace(next_block), now);
+  units.on_dispatch(next_block, now, meter);
+  if constexpr (obs::kEnabled) {
+    if (timeline != nullptr) {
+      tb_dispatch[next_block] = TbDispatch{.cycle = now, .sm = sm_id};
+    }
+  }
+  ++next_block;
+}
 
-  const auto close_fixed_unit = [&](std::uint64_t now) {
-    FixedUnit unit;
-    unit.start_cycle = fixed_unit_start_cycle;
-    unit.end_cycle = now;
-    unit.warp_insts = meter.warp_insts - fixed_unit_start_insts;
-    unit.thread_insts = meter.thread_insts - fixed_unit_start_threads;
-    unit.bbv = meter.fixed_unit_bbv;
-    if constexpr (obs::kEnabled) {
-      if (timeline != nullptr) {
-        timeline->instant(
-            "fixed-unit " + std::to_string(result.fixed_units.size()), "unit",
-            trace_pid, config_.n_sms, now,
-            {{"warp_insts", obs::json_number(unit.warp_insts)}});
+void LaunchEngine::dispatch_serial() {
+  while (next_simulated_block(cycle)) {
+    const std::uint32_t n_sms = static_cast<std::uint32_t>(sms.size());
+    std::uint32_t target = n_sms;
+    for (std::uint32_t s = 0; s < n_sms; ++s) {
+      if (sms[s].has_free_slot()) {
+        target = s;
+        break;
       }
     }
-    result.fixed_units.push_back(std::move(unit));
-    std::fill(meter.fixed_unit_bbv.begin(), meter.fixed_unit_bbv.end(), 0u);
-    fixed_unit_start_cycle = now;
-    fixed_unit_start_insts = meter.warp_insts;
-    fixed_unit_start_threads = meter.thread_insts;
-  };
+    if (target == n_sms) break;  // all slots busy; the cached action waits
+    dispatch_pending_into(target, cycle);
+  }
+}
 
-  const auto all_sms_idle = [&] {
-    for (const SmCore& sm : sms) {
-      if (!sm.idle()) return false;
+void LaunchEngine::process_retirement(std::uint32_t block_id, std::uint64_t now) {
+  ++retired_blocks;
+  controller->on_block_retire(block_id, now, /*was_skipped=*/false);
+  if constexpr (obs::kEnabled) {
+    if (timeline != nullptr) {
+      const TbDispatch& start = tb_dispatch[block_id];
+      timeline->complete(
+          "TB " + std::to_string(block_id), "tb", trace_pid, start.sm,
+          start.cycle, now - start.cycle,
+          {{"block", obs::json_number(std::uint64_t{block_id})}});
     }
-    return true;
-  };
+  }
+  SamplingUnit unit;
+  if (units.on_retire(block_id, now, meter, unit)) {
+    units.note_close(now, meter);
+    result.tb_units.push_back(unit);
+    controller->on_sampling_unit(unit);
+  }
+}
 
+void LaunchEngine::check_fixed_unit(std::uint64_t now) {
+  if (config.fixed_unit_insts > 0 &&
+      meter.warp_insts - fixed_unit_start_insts >= config.fixed_unit_insts) {
+    close_fixed_unit(now);
+  }
+}
+
+void LaunchEngine::close_fixed_unit(std::uint64_t now) {
+  FixedUnit unit;
+  unit.start_cycle = fixed_unit_start_cycle;
+  unit.end_cycle = now;
+  unit.warp_insts = meter.warp_insts - fixed_unit_start_insts;
+  unit.thread_insts = meter.thread_insts - fixed_unit_start_threads;
+  unit.bbv = meter.fixed_unit_bbv;
+  if constexpr (obs::kEnabled) {
+    if (timeline != nullptr) {
+      timeline->instant(
+          "fixed-unit " + std::to_string(result.fixed_units.size()), "unit",
+          trace_pid, config.n_sms, now,
+          {{"warp_insts", obs::json_number(unit.warp_insts)}});
+    }
+  }
+  result.fixed_units.push_back(std::move(unit));
+  std::fill(meter.fixed_unit_bbv.begin(), meter.fixed_unit_bbv.end(), 0u);
+  fixed_unit_start_cycle = now;
+  fixed_unit_start_insts = meter.warp_insts;
+  fixed_unit_start_threads = meter.thread_insts;
+}
+
+Status LaunchEngine::watchdog_after_cycle(std::uint64_t now) {
+  if (meter.warp_insts != seen_warp_insts || next_block != seen_next_block ||
+      retired_blocks != seen_retired_blocks) {
+    seen_warp_insts = meter.warp_insts;
+    seen_next_block = next_block;
+    seen_retired_blocks = retired_blocks;
+    last_progress_cycle = now;
+    return Status();
+  }
+  if (now - last_progress_cycle >= options.stall_cycle_limit) {
+    // Deadlock/livelock: every warp is parked (barrier mismatch, wedged
+    // stream, controller bug) and nothing can ever move again.
+    const WatchdogDiagnostic diag =
+        fill_diagnostic(now, now - last_progress_cycle);
+    return Status(StatusCode::kDeadlock, diag.to_string());
+  }
+  return Status();
+}
+
+Status LaunchEngine::timeout_status() {
+  const WatchdogDiagnostic diag =
+      fill_diagnostic(cycle, cycle - last_progress_cycle);
+  return Status(StatusCode::kTimeout,
+                "simulation exceeded max_cycles (" +
+                    std::to_string(options.max_cycles) + "); " +
+                    diag.to_string());
+}
+
+bool LaunchEngine::all_sms_idle() const {
+  for (const SmCore& sm : sms) {
+    if (!sm.idle()) return false;
+  }
+  return true;
+}
+
+WatchdogDiagnostic LaunchEngine::fill_diagnostic(std::uint64_t at,
+                                                 std::uint64_t stalled) {
+  WatchdogDiagnostic diag;
+  diag.triggered = true;
+  diag.cycle = at;
+  diag.stalled_cycles = stalled;
+  diag.dispatched_blocks = next_block;
+  diag.n_blocks = n_blocks;
+  diag.warp_insts = meter.warp_insts;
+  diag.sms.reserve(sms.size());
+  for (const SmCore& sm : sms) diag.sms.push_back(sm.debug_state());
+  if (diagnostic != nullptr) *diagnostic = diag;
+  return diag;
+}
+
+Status LaunchEngine::run_serial() {
+  std::vector<MemCompletion> completions;
   while (next_block < n_blocks || !all_sms_idle()) {
-    // Greedy dispatch: fill every free slot, consuming skipped blocks
-    // instantly (a whole fast-forwarded region costs zero cycles).  The
-    // controller is consulted exactly once per block; the decision is
-    // cached across cycles while all slots are busy.
-    while (next_block < n_blocks) {
-      if (!pending_action.has_value()) {
-        pending_action = controller->on_block_dispatch(next_block, cycle);
-      }
-      const BlockAction action = *pending_action;
-      if (action == BlockAction::kSkip) {
-        pending_action.reset();
-        result.skipped_blocks.push_back(next_block);
-        controller->on_block_retire(next_block, cycle, /*was_skipped=*/true);
-        ++next_block;
-        continue;
-      }
-      SmCore* target = nullptr;
-      std::uint32_t target_sm = 0;
-      for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(sms.size()); ++s) {
-        if (sms[s].has_free_slot()) {
-          target = &sms[s];
-          target_sm = s;
-          break;
-        }
-      }
-      if (target == nullptr) break;  // all slots busy; retry next cycle
-      pending_action.reset();
-      target->dispatch_block(next_block, launch.block_trace(next_block), cycle);
-      units.on_dispatch(next_block, cycle, meter);
-      if constexpr (obs::kEnabled) {
-        if (timeline != nullptr) {
-          tb_dispatch[next_block] = TbDispatch{.cycle = cycle, .sm = target_sm};
-        }
-      }
-      ++next_block;
-    }
+    dispatch_serial();
 
     for (SmCore& sm : sms) sm.issue(cycle);
 
@@ -314,57 +261,25 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
 
     for (SmCore& sm : sms) {
       for (std::uint32_t block_id : sm.retired()) {
-        ++retired_blocks;
-        controller->on_block_retire(block_id, cycle, /*was_skipped=*/false);
-        if constexpr (obs::kEnabled) {
-          if (timeline != nullptr) {
-            const TbDispatch& start = tb_dispatch[block_id];
-            timeline->complete(
-                "TB " + std::to_string(block_id), "tb", trace_pid, start.sm,
-                start.cycle, cycle - start.cycle,
-                {{"block", obs::json_number(std::uint64_t{block_id})}});
-          }
-        }
-        SamplingUnit unit;
-        if (units.on_retire(block_id, cycle, meter, unit)) {
-          units.note_close(cycle, meter);
-          result.tb_units.push_back(unit);
-          controller->on_sampling_unit(unit);
-        }
+        process_retirement(block_id, cycle);
       }
       sm.retired().clear();
     }
 
-    if (config_.fixed_unit_insts > 0 &&
-        meter.warp_insts - fixed_unit_start_insts >= config_.fixed_unit_insts) {
-      close_fixed_unit(cycle);
-    }
+    check_fixed_unit(cycle);
 
-    if (meter.warp_insts != seen_warp_insts || next_block != seen_next_block ||
-        retired_blocks != seen_retired_blocks) {
-      seen_warp_insts = meter.warp_insts;
-      seen_next_block = next_block;
-      seen_retired_blocks = retired_blocks;
-      last_progress_cycle = cycle;
-    } else if (cycle - last_progress_cycle >= options.stall_cycle_limit) {
-      // Deadlock/livelock: every warp is parked (barrier mismatch, wedged
-      // stream, controller bug) and nothing can ever move again.
-      const WatchdogDiagnostic diag = fill_diagnostic(cycle - last_progress_cycle);
-      return Status(StatusCode::kDeadlock, diag.to_string());
-    }
+    Status watchdog = watchdog_after_cycle(cycle);
+    if (!watchdog.ok()) return watchdog;
 
     ++cycle;
-    if (cycle >= options.max_cycles) {
-      const WatchdogDiagnostic diag = fill_diagnostic(cycle - last_progress_cycle);
-      return Status(StatusCode::kTimeout,
-                    "simulation exceeded max_cycles (" +
-                        std::to_string(options.max_cycles) + "); " +
-                        diag.to_string());
-    }
+    if (cycle >= options.max_cycles) return timeout_status();
   }
+  return Status();
+}
 
+Result<LaunchResult> LaunchEngine::collect_result() {
   // Close the trailing partial fixed unit so every instruction is in a unit.
-  if (config_.fixed_unit_insts > 0 && meter.warp_insts > fixed_unit_start_insts) {
+  if (config.fixed_unit_insts > 0 && meter.warp_insts > fixed_unit_start_insts) {
     close_fixed_unit(cycle);
   }
   // Same for the block-delimited units: account for the drain tail.
@@ -413,6 +328,7 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
       shard->add("sim.l2.misses", mem.l2.misses);
       shard->add("sim.l2.evictions", mem.l2.evictions);
       shard->add("sim.l2.mshr_merges", mem.l2_mshr_merges);
+      shard->add("sim.l2.mshr_stalls", mem.l2_mshr_overflows);
       shard->add("sim.dram.row_hits", mem.dram.row_hits);
       shard->add("sim.dram.row_misses", mem.dram.row_misses);
       shard->add("sim.dram.loads", mem.dram.loads);
@@ -427,7 +343,38 @@ Result<LaunchResult> GpuSimulator::run_launch_checked(
       shard->add("sim.launch.skipped_blocks", result.skipped_blocks.size());
     }
   }
-  return result;
+  return std::move(result);
+}
+
+}  // namespace detail
+
+GpuSimulator::GpuSimulator(const GpuConfig& config) : config_(config) {}
+
+LaunchResult GpuSimulator::run_launch(const trace::LaunchTraceSource& launch,
+                                      const RunOptions& options) {
+  Result<LaunchResult> result = run_launch_checked(launch, options);
+  if (!result.has_value()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+Result<LaunchResult> GpuSimulator::run_launch_checked(
+    const trace::LaunchTraceSource& launch, const RunOptions& options,
+    WatchdogDiagnostic* diagnostic) {
+  detail::LaunchEngine engine(config_, launch, options, diagnostic);
+  Status setup = engine.init();
+  if (!setup.ok()) return setup;
+
+  // The sharded engine's epoch scheme needs >= 1 cycle of interconnect
+  // latency (the epoch quantum) and more than one SM to shard; everything
+  // else — including empty launches — runs the serial loop.
+  const bool sharded = options.sim_jobs > 1 && config_.n_sms > 1 &&
+                       config_.lat.interconnect > 0 && engine.n_blocks > 0;
+  Status run = sharded ? detail::run_sharded(engine) : engine.run_serial();
+  if (!run.ok()) return run;
+  return engine.collect_result();
 }
 
 }  // namespace tbp::sim

@@ -106,6 +106,14 @@ struct RunOptions {
   /// deadlocked.  Real memory-bound stalls are thousands of cycles at worst,
   /// so the default leaves three orders of magnitude of headroom.
   std::uint64_t stall_cycle_limit = 1ull << 22;
+  /// Worker threads sharding SMs *inside* this launch (DESIGN.md
+  /// "Intra-launch parallel simulation").  The sharded engine buffers every
+  /// cross-SM interaction and replays it in the serial engine's exact
+  /// order, so cycle counts, metrics, sampling units and manifests are
+  /// byte-identical for every value.  <= 1 — or a config the epoch scheme
+  /// cannot cover (single SM, zero interconnect latency) — runs the classic
+  /// serial loop.
+  std::uint32_t sim_jobs = 1;
   /// Metrics/timeline capture; ignored entirely in a TBP_OBS-off build.
   LaunchObservation observe;
 };

@@ -1,0 +1,218 @@
+// Internal header shared by the two launch engines: the classic serial
+// cycle loop (gpu.cpp) and the intra-launch SM-sharded engine
+// (gpu_sharded.cpp).  It holds everything that is per-launch but not
+// per-SM — the memory system, the global meter, sampling-unit tracking,
+// the greedy block dispatcher, the watchdog, and the observability
+// plumbing — as one LaunchEngine struct with the commit-side helpers both
+// engines drive.  The sharded engine calls exactly the same helpers at
+// exactly the same logical cycles as the serial loop does, which is the
+// mechanism behind the byte-identity guarantee of RunOptions::sim_jobs.
+//
+// This header is an implementation detail of src/sim; everything lives in
+// tbp::sim::detail and is not part of the public simulator surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/config.hpp"
+#include "sim/controller.hpp"
+#include "sim/gpu.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/sm.hpp"
+#include "support/status.hpp"
+#include "trace/kernel.hpp"
+
+namespace tbp::sim::detail {
+
+/// Tracks the designated block for thread-block-delimited sampling units
+/// (paper Section IV-B2): the unit is the interval between the start and
+/// the end of a *specified* thread block.  The first specified block is the
+/// very first dispatched block; when the specified block retires, the unit
+/// closes and the next dispatched block becomes the new specified block.
+/// Because the specified block executes the whole kernel code, each unit
+/// spans a full block lifetime — long enough for its machine-wide IPC to be
+/// a stable sample (tens of concurrent blocks' throughput averaged over
+/// thousands of cycles), which is what the warming comparison relies on.
+class UnitTracker {
+ public:
+  void on_dispatch(std::uint32_t block_id, std::uint64_t cycle,
+                   const GlobalMeter& meter) {
+    if (unit_open_) return;
+    unit_open_ = true;
+    designated_ = block_id;
+    start_cycle_ = cycle;
+    start_insts_ = meter.warp_insts;
+  }
+
+  /// Returns true (and fills `unit`) when this retirement closes a unit.
+  bool on_retire(std::uint32_t block_id, std::uint64_t cycle,
+                 const GlobalMeter& meter, SamplingUnit& unit) {
+    if (!unit_open_ || block_id != designated_) return false;
+    unit = SamplingUnit{
+        .start_cycle = start_cycle_,
+        .end_cycle = cycle,
+        .warp_insts = meter.warp_insts - start_insts_,
+        .end_block_id = block_id,
+    };
+    unit_open_ = false;  // the next dispatch re-opens
+    return true;
+  }
+
+  /// Closes the trailing partial unit (the drain after the last designated
+  /// block, or a launch whose designated block never retired) so units tile
+  /// the whole simulation.  Returns false if nothing is open or the tail is
+  /// empty.
+  bool close_tail(std::uint64_t cycle, const GlobalMeter& meter,
+                  SamplingUnit& unit) {
+    if (!unit_open_ && meter.warp_insts == last_tail_insts_) return false;
+    const std::uint64_t start =
+        unit_open_ ? start_cycle_ : last_tail_cycle_;
+    const std::uint64_t start_insts =
+        unit_open_ ? start_insts_ : last_tail_insts_;
+    if (meter.warp_insts == start_insts) return false;
+    unit = SamplingUnit{
+        .start_cycle = start,
+        .end_cycle = cycle,
+        .warp_insts = meter.warp_insts - start_insts,
+        .end_block_id = kTailUnit,
+    };
+    unit_open_ = false;
+    return true;
+  }
+
+  /// Records where the last closed unit ended so close_tail can account for
+  /// drain instructions issued after it.
+  void note_close(std::uint64_t cycle, const GlobalMeter& meter) {
+    last_tail_cycle_ = cycle;
+    last_tail_insts_ = meter.warp_insts;
+  }
+
+  static constexpr std::uint32_t kTailUnit = 0xffffffffu;
+
+ private:
+  bool unit_open_ = false;
+  std::uint32_t designated_ = 0;
+  std::uint64_t start_cycle_ = 0;
+  std::uint64_t start_insts_ = 0;
+  std::uint64_t last_tail_cycle_ = 0;
+  std::uint64_t last_tail_insts_ = 0;
+};
+
+/// One kernel launch mid-simulation: the machine, the dispatcher, the
+/// metering, and the watchdog.  Both engines mutate this state through the
+/// helpers below; the field layout is engine-agnostic.
+struct LaunchEngine {
+  LaunchEngine(const GpuConfig& cfg, const trace::LaunchTraceSource& src,
+               const RunOptions& opts, WatchdogDiagnostic* diag)
+      : config(cfg),
+        launch(src),
+        options(opts),
+        diagnostic(diag),
+        memory(cfg) {}
+
+  const GpuConfig& config;
+  const trace::LaunchTraceSource& launch;
+  const RunOptions& options;
+  WatchdogDiagnostic* diagnostic = nullptr;
+
+  MemorySystem memory;
+  GlobalMeter meter;
+  std::vector<SmCore> sms;
+  UnitTracker units;
+  SimController default_controller;
+  SimController* controller = nullptr;
+  std::uint32_t occupancy = 0;
+
+  std::uint32_t n_blocks = 0;
+  std::uint32_t next_block = 0;
+  std::uint64_t cycle = 0;
+  std::uint64_t retired_blocks = 0;
+  std::optional<BlockAction> pending_action;
+
+  std::uint64_t fixed_unit_start_cycle = 0;
+  std::uint64_t fixed_unit_start_insts = 0;
+  std::uint64_t fixed_unit_start_threads = 0;
+
+  // Forward-progress watchdog: progress is an issued instruction, a
+  // dispatched block, or a retired block.
+  std::uint64_t last_progress_cycle = 0;
+  std::uint64_t seen_warp_insts = 0;
+  std::uint32_t seen_next_block = 0;
+  std::uint64_t seen_retired_blocks = 0;
+
+  // Observability (pure observers: nothing here feeds back into a timing
+  // decision, so attaching it never changes the simulation).
+  obs::MetricsShard* shard = nullptr;
+  obs::TraceBuffer* timeline = nullptr;
+  std::uint32_t trace_pid = 0;
+  std::vector<SmStallStats> stall_stats;
+  struct TbDispatch {
+    std::uint64_t cycle = 0;
+    std::uint32_t sm = 0;
+  };
+  std::vector<TbDispatch> tb_dispatch;  ///< by block id, trace capture only
+
+  LaunchResult result;
+
+  /// Occupancy check plus machine/observability setup.  Must be called
+  /// (and succeed) before either engine runs.
+  [[nodiscard]] Status init();
+
+  /// Resolves the head block's cached controller action, consuming kSkip
+  /// blocks instantly (a whole fast-forwarded region costs zero cycles).
+  /// The controller is consulted exactly once per block; the decision is
+  /// cached across cycles while all slots are busy.  Returns true when the
+  /// head block is pending simulation, false when blocks ran out.
+  bool next_simulated_block(std::uint64_t now);
+
+  /// Dispatches the pending head block into `sm_id` (first free slot) and
+  /// advances the dispatcher.
+  void dispatch_pending_into(std::uint32_t sm_id, std::uint64_t now);
+
+  /// The serial engine's greedy dispatch loop: fill every free slot in SM-id
+  /// order while simulated blocks remain.
+  void dispatch_serial();
+
+  /// Commit side of one block retirement at cycle `now`: controller
+  /// callback, timeline span, sampling-unit close.
+  void process_retirement(std::uint32_t block_id, std::uint64_t now);
+
+  /// Closes the current fixed-size unit at `now` if the instruction budget
+  /// was reached (no-op when fixed units are disabled).
+  void check_fixed_unit(std::uint64_t now);
+  void close_fixed_unit(std::uint64_t now);
+
+  /// Watchdog bookkeeping after all of cycle `now`'s events committed.
+  /// Returns a kDeadlock Status when the stall limit is hit.
+  [[nodiscard]] Status watchdog_after_cycle(std::uint64_t now);
+
+  /// The kTimeout failure, with diagnostics, for a launch that reached
+  /// options.max_cycles (call with cycle already advanced past the last
+  /// executed cycle, as the serial loop does).
+  [[nodiscard]] Status timeout_status();
+
+  [[nodiscard]] bool all_sms_idle() const;
+
+  WatchdogDiagnostic fill_diagnostic(std::uint64_t at, std::uint64_t stalled);
+
+  /// The classic one-thread cycle loop.
+  [[nodiscard]] Status run_serial();
+
+  /// Tail units, result fields, and the metrics flush.  Call after a
+  /// successful run_serial/run_sharded.
+  [[nodiscard]] Result<LaunchResult> collect_result();
+};
+
+/// The intra-launch SM-sharded engine (gpu_sharded.cpp): worker threads
+/// advance disjoint SM shards through fixed epochs while the caller's
+/// thread replays every cross-SM interaction in serial order.  Requires
+/// options.sim_jobs >= 2, at least two SMs, interconnect latency >= 1 and a
+/// non-empty launch (the caller routes everything else to run_serial).
+[[nodiscard]] Status run_sharded(LaunchEngine& engine);
+
+}  // namespace tbp::sim::detail

@@ -1,46 +1,62 @@
 #include "sim/memory_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tbp::sim {
+namespace {
+
+/// Bounded overflow-retry work per SM per cycle: a saturated launch can
+/// hold hundreds of overflowed loads, and rescanning all of them every
+/// cycle dominated simulation time.  Entries that still find a full MSHR
+/// rotate to the back and are retried on a later cycle.
+constexpr std::size_t kOverflowRetryBudget = 64;
+
+}  // namespace
 
 MemorySystem::MemorySystem(const GpuConfig& config)
     : config_(config), l2_(config.l2), dram_(config) {
-  l1_.reserve(config.n_sms);
-  for (std::uint32_t s = 0; s < config.n_sms; ++s) l1_.emplace_back(config.l1);
-  l1_mshr_.resize(config.n_sms);
+  ports_.reserve(config.n_sms);
+  for (std::uint32_t s = 0; s < config.n_sms; ++s) ports_.emplace_back(config.l1);
 }
 
 bool MemorySystem::load(std::uint32_t sm_id, std::uint64_t line, WarpToken token,
                         std::uint64_t cycle) {
-  if (l1_[sm_id].access(line)) return true;
+  SmPort& port = ports_[sm_id];
+  if (port.l1.access(line)) return true;
 
-  auto& mshr = l1_mshr_[sm_id];
-  if (auto it = mshr.find(line); it != mshr.end()) {
+  if (auto it = port.mshr.find(line); it != port.mshr.end()) {
     it->second.waiters.push_back(token);
-    ++l1_mshr_merges_;
+    ++port.mshr_merges;
     return false;
   }
-  if (mshr.size() >= config_.l1_mshrs) {
-    ++l1_mshr_stalls_;
-    l1_overflow_.push_back(TimedRequest{
+  if (port.mshr.size() >= config_.l1_mshrs) {
+    ++port.mshr_stalls;
+    port.overflow.push_back(TimedRequest{
         .ready = cycle, .line = line, .sm_id = sm_id, .token = token});
     return false;
   }
-  mshr.emplace(line, L1Mshr{.waiters = {token}});
-  send_to_l2(line, sm_id, /*is_store=*/false, cycle);
+  port.mshr.emplace(line, L1Mshr{.waiters = {token}});
+  emit_request(port, line, sm_id, /*is_store=*/false, kPhaseIssue, cycle);
   return false;
 }
 
 void MemorySystem::store(std::uint32_t sm_id, std::uint64_t line,
                          std::uint64_t cycle) {
+  SmPort& port = ports_[sm_id];
   // Write-through no-allocate: refresh LRU if present, always forward.
-  if (l1_[sm_id].contains(line)) (void)l1_[sm_id].access(line);
-  send_to_l2(line, sm_id, /*is_store=*/true, cycle);
+  if (port.l1.contains(line)) (void)port.l1.access(line);
+  emit_request(port, line, sm_id, /*is_store=*/true, kPhaseIssue, cycle);
 }
 
-void MemorySystem::send_to_l2(std::uint64_t line, std::uint32_t sm_id, bool is_store,
-                              std::uint64_t cycle) {
+void MemorySystem::emit_request(SmPort& port, std::uint64_t line,
+                                std::uint32_t sm_id, bool is_store,
+                                std::uint8_t phase, std::uint64_t cycle) {
+  if (shard_mode_) {
+    port.outbox.push_back(OutboxRequest{
+        .cycle = cycle, .line = line, .phase = phase, .is_store = is_store});
+    return;
+  }
   l2_queue_.push_back(TimedRequest{
       .ready = cycle + config_.lat.interconnect,
       .line = line,
@@ -82,6 +98,7 @@ void MemorySystem::process_l2(std::uint64_t cycle) {
     // hazard here: overflowing requests are still accepted (they would
     // otherwise need a second overflow queue) but counted, so configs that
     // undersize the MSHRs are visible in stats.
+    if (l2_mshr_.size() >= config_.l2_mshrs) ++l2_mshr_overflows_;
     l2_mshr_.emplace(req.line, std::vector<std::uint32_t>{req.sm_id});
     dram_.push(req.line, /*is_store=*/false, cycle);
   }
@@ -106,102 +123,189 @@ void MemorySystem::process_dram_replies(std::uint64_t cycle) {
   }
 }
 
+void MemorySystem::apply_fill(SmPort& port, std::uint32_t sm_id,
+                              std::uint64_t line,
+                              std::vector<MemCompletion>& completions) {
+  port.l1.fill(line);
+  auto it = port.mshr.find(line);
+  assert(it != port.mshr.end());
+  for (WarpToken token : it->second.waiters) {
+    completions.push_back(MemCompletion{.sm_id = sm_id, .token = token});
+  }
+  port.mshr.erase(it);
+}
+
 void MemorySystem::deliver_l1_fills(std::uint64_t cycle,
                                     std::vector<MemCompletion>& completions) {
   while (!l1_fills_.empty() && l1_fills_.top().ready <= cycle) {
     const TimedFill fill = l1_fills_.top();
     l1_fills_.pop();
-    l1_[fill.sm_id].fill(fill.line);
-    auto it = l1_mshr_[fill.sm_id].find(fill.line);
-    assert(it != l1_mshr_[fill.sm_id].end());
-    for (WarpToken token : it->second.waiters) {
-      completions.push_back(MemCompletion{.sm_id = fill.sm_id, .token = token});
-    }
-    l1_mshr_[fill.sm_id].erase(it);
+    apply_fill(ports_[fill.sm_id], fill.sm_id, fill.line, completions);
   }
 }
 
-void MemorySystem::retry_overflow(std::uint64_t cycle) {
-  // Bounded work per cycle: a saturated launch can hold hundreds of
-  // overflowed loads, and rescanning all of them every cycle dominated
-  // simulation time.  Entries that still find a full MSHR rotate to the
-  // back and are retried on a later cycle.
-  std::size_t n = std::min<std::size_t>(l1_overflow_.size(), 64);
+void MemorySystem::retry_overflow(SmPort& port, std::uint64_t cycle) {
+  std::size_t n = std::min(port.overflow.size(), kOverflowRetryBudget);
   while (n-- > 0) {
-    const TimedRequest req = l1_overflow_.front();
-    l1_overflow_.pop_front();
-    auto& mshr = l1_mshr_[req.sm_id];
+    const TimedRequest req = port.overflow.front();
+    port.overflow.pop_front();
     // The line may have been filled while this request waited; probe again.
-    if (l1_[req.sm_id].contains(req.line)) {
-      (void)l1_[req.sm_id].access(req.line);
-      l1_fills_.push(TimedFill{
-          .ready = cycle + 1,  // hit-after-wait completes next cycle
-          .line = req.line,
-          .sm_id = req.sm_id,
-          .seq = fill_seq_++,
-      });
-      // Re-register the waiter so the fill delivery finds it.
-      mshr[req.line].waiters.push_back(req.token);
+    // A hit here completes directly next cycle: the waiter must NOT be
+    // re-registered in the MSHR map (no fill is outstanding for it), since
+    // that would bypass the capacity check and a synthetic fill erasing the
+    // entry would collide with an in-flight fill — or a second hit-path
+    // retry — for the same line, dropping waiters.
+    if (port.l1.contains(req.line)) {
+      (void)port.l1.access(req.line);
+      port.hit_wait.push_back(TimedWakeup{.ready = cycle + 1, .token = req.token});
       continue;
     }
-    if (auto it = mshr.find(req.line); it != mshr.end()) {
+    if (auto it = port.mshr.find(req.line); it != port.mshr.end()) {
       it->second.waiters.push_back(req.token);
-      ++l1_mshr_merges_;
+      ++port.mshr_merges;
       continue;
     }
-    if (mshr.size() >= config_.l1_mshrs) {
-      l1_overflow_.push_back(req);  // still full; retry next cycle
+    if (port.mshr.size() >= config_.l1_mshrs) {
+      port.overflow.push_back(req);  // still full; retry next cycle
       continue;
     }
-    mshr.emplace(req.line, L1Mshr{.waiters = {req.token}});
-    send_to_l2(req.line, req.sm_id, /*is_store=*/false, cycle);
+    port.mshr.emplace(req.line, L1Mshr{.waiters = {req.token}});
+    emit_request(port, req.line, req.sm_id, /*is_store=*/false, kPhaseRetry,
+                 cycle);
+  }
+}
+
+void MemorySystem::drain_hit_waits(SmPort& port, std::uint32_t sm_id,
+                                   std::uint64_t cycle,
+                                   std::vector<MemCompletion>& completions) {
+  while (!port.hit_wait.empty() && port.hit_wait.front().ready <= cycle) {
+    completions.push_back(
+        MemCompletion{.sm_id = sm_id, .token = port.hit_wait.front().token});
+    port.hit_wait.pop_front();
   }
 }
 
 void MemorySystem::tick(std::uint64_t cycle, std::vector<MemCompletion>& completions) {
-  if (!l1_overflow_.empty()) retry_overflow(cycle);
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(ports_.size()); ++s) {
+    if (!ports_[s].overflow.empty()) retry_overflow(ports_[s], cycle);
+  }
   process_l2(cycle);
   process_dram_replies(cycle);
   deliver_l1_fills(cycle, completions);
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(ports_.size()); ++s) {
+    drain_hit_waits(ports_[s], s, cycle, completions);
+  }
+}
+
+void MemorySystem::shared_tick(std::uint64_t cycle) {
+  process_l2(cycle);
+  process_dram_replies(cycle);
+}
+
+void MemorySystem::route_fills(std::uint64_t limit,
+                               std::vector<std::vector<TimedFill>>& inboxes) {
+  assert(inboxes.size() == ports_.size());
+  // Heap pops arrive in (ready, seq) order, so each SM's inbox slice is the
+  // exact subsequence the serial deliver_l1_fills would hand it.
+  while (!l1_fills_.empty() && l1_fills_.top().ready < limit) {
+    const TimedFill fill = l1_fills_.top();
+    l1_fills_.pop();
+    inboxes[fill.sm_id].push_back(fill);
+  }
+}
+
+void MemorySystem::sm_local_tick(std::uint32_t sm_id, std::uint64_t cycle,
+                                 const std::vector<TimedFill>& inbox,
+                                 std::size_t& cursor,
+                                 std::vector<MemCompletion>& completions) {
+  SmPort& port = ports_[sm_id];
+  if (!port.overflow.empty()) retry_overflow(port, cycle);
+  while (cursor < inbox.size() && inbox[cursor].ready <= cycle) {
+    apply_fill(port, sm_id, inbox[cursor].line, completions);
+    ++cursor;
+  }
+  drain_hit_waits(port, sm_id, cycle, completions);
+}
+
+void MemorySystem::drain_outboxes(std::uint64_t first, std::uint64_t limit) {
+  const std::uint32_t n_sms = static_cast<std::uint32_t>(ports_.size());
+  // Per-SM outboxes are (cycle, phase)-ordered already (each SM buffers its
+  // own cycles in order, issue before retry); the merge walks (cycle,
+  // phase, sm) so the shared queue receives requests in the serial engine's
+  // push order: per cycle, every SM's issue-phase sends in SM-id order,
+  // then every SM's retry sends in SM-id order.
+  std::vector<std::size_t> cursor(n_sms, 0);
+  for (std::uint64_t c = first; c < limit; ++c) {
+    for (std::uint8_t phase = kPhaseIssue; phase <= kPhaseRetry; ++phase) {
+      for (std::uint32_t s = 0; s < n_sms; ++s) {
+        const std::vector<OutboxRequest>& outbox = ports_[s].outbox;
+        std::size_t& i = cursor[s];
+        while (i < outbox.size() && outbox[i].cycle == c &&
+               outbox[i].phase == phase) {
+          l2_queue_.push_back(TimedRequest{
+              .ready = outbox[i].cycle + config_.lat.interconnect,
+              .line = outbox[i].line,
+              .sm_id = s,
+              .is_store = outbox[i].is_store,
+          });
+          ++i;
+        }
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < n_sms; ++s) {
+    assert(cursor[s] == ports_[s].outbox.size());
+    ports_[s].outbox.clear();
+  }
 }
 
 bool MemorySystem::busy() const noexcept {
-  if (!l2_queue_.empty() || !l1_fills_.empty() || !l1_overflow_.empty()) return true;
+  if (!l2_queue_.empty() || !l1_fills_.empty()) return true;
   if (!l2_mshr_.empty()) return true;
-  for (const auto& mshr : l1_mshr_) {
-    if (!mshr.empty()) return true;
+  for (const SmPort& port : ports_) {
+    if (!port.mshr.empty() || !port.overflow.empty() ||
+        !port.hit_wait.empty() || !port.outbox.empty()) {
+      return true;
+    }
   }
   return dram_.busy();
 }
 
 MemoryStats MemorySystem::stats() const {
   MemoryStats out;
-  for (const SetAssocCache& cache : l1_) {
-    out.l1.hits += cache.stats().hits;
-    out.l1.misses += cache.stats().misses;
-    out.l1.evictions += cache.stats().evictions;
+  for (const SmPort& port : ports_) {
+    out.l1.hits += port.l1.stats().hits;
+    out.l1.misses += port.l1.stats().misses;
+    out.l1.evictions += port.l1.stats().evictions;
+    out.l1_mshr_merges += port.mshr_merges;
+    out.l1_mshr_stalls += port.mshr_stalls;
   }
   out.l2 = l2_.stats();
   out.dram = dram_.aggregate_stats();
-  out.l1_mshr_merges = l1_mshr_merges_;
   out.l2_mshr_merges = l2_mshr_merges_;
-  out.l1_mshr_stalls = l1_mshr_stalls_;
+  out.l2_mshr_overflows = l2_mshr_overflows_;
   return out;
 }
 
 void MemorySystem::reset() {
-  for (SetAssocCache& cache : l1_) cache.reset();
+  for (SmPort& port : ports_) {
+    port.l1.reset();
+    port.mshr.clear();
+    port.overflow.clear();
+    port.hit_wait.clear();
+    port.outbox.clear();
+    port.mshr_merges = 0;
+    port.mshr_stalls = 0;
+  }
   l2_.reset();
   dram_.reset();
-  for (auto& mshr : l1_mshr_) mshr.clear();
-  l1_overflow_.clear();
   l2_queue_.clear();
   l2_mshr_.clear();
   while (!l1_fills_.empty()) l1_fills_.pop();
   fill_seq_ = 0;
-  l1_mshr_merges_ = 0;
   l2_mshr_merges_ = 0;
-  l1_mshr_stalls_ = 0;
+  l2_mshr_overflows_ = 0;
+  shard_mode_ = false;
 }
 
 }  // namespace tbp::sim

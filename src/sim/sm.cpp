@@ -174,11 +174,21 @@ void SmCore::issue_impl(std::uint64_t cycle) {
   ++ctx.pc;
   ++warp_insts_;
   thread_insts_ += inst.active_threads;
-  meter_->record(inst);
-  execute(slot_idx, warp_idx, inst, cycle);
-  // Another warp may already be ready, so scan again next cycle.
+  if (issue_log_ != nullptr) {
+    // Shard mode: the meter is shared across SMs, so log the issue for the
+    // serial commit replay instead of touching it from a worker thread.
+    issue_log_->push_back(SmIssueEvent{
+        .cycle = cycle, .bb_id = inst.bb_id, .active_threads = inst.active_threads});
+  } else {
+    meter_->record(inst);
+  }
+  // Advance the cursors *before* execute: a kExit that retires the block
+  // invalidates gto_current_ inside retire_block, and assigning it here
+  // afterwards would resurrect the stale cursor it just killed.
   rr_cursor_ = (chosen + 1) % n_contexts;
   gto_current_ = chosen;
+  execute(slot_idx, warp_idx, inst, cycle);
+  // Another warp may already be ready, so scan again next cycle.
   earliest_ready_ = cycle + 1;
 }
 
@@ -242,7 +252,7 @@ void SmCore::execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
       assert(slot.live_warps > 0);
       --slot.live_warps;
       if (slot.live_warps == 0) {
-        retire_block(slot_idx);
+        retire_block(slot_idx, cycle);
       } else {
         release_barrier_if_ready(slot, slot_idx, cycle);
       }
@@ -264,12 +274,23 @@ void SmCore::release_barrier_if_ready(BlockSlot& slot, std::uint32_t slot_idx,
   earliest_ready_ = std::min(earliest_ready_, cycle + 1);
 }
 
-void SmCore::retire_block(std::uint32_t slot_idx) {
+void SmCore::retire_block(std::uint32_t slot_idx, std::uint64_t cycle) {
   BlockSlot& slot = slots_[slot_idx];
-  retired_.push_back(slot.block_id);
+  if (retire_log_ != nullptr) {
+    retire_log_->push_back(SmRetireEvent{.cycle = cycle, .block_id = slot.block_id});
+  } else {
+    retired_.push_back(slot.block_id);
+  }
   slot.active = false;
   slot.trace = trace::BlockTrace{};  // release the trace's memory
   ++free_slots_;
+  // The greedy cursor must die with the block it points into: a new block
+  // dispatched into this slot re-passes the `.active` check, and a stale
+  // cursor would greedy-issue the newcomer's warp ahead of older blocks
+  // instead of falling back to oldest-first.
+  if (gto_current_ != ~0u && gto_current_ / warps_per_block_ == slot_idx) {
+    gto_current_ = ~0u;
+  }
 }
 
 SmDebugState SmCore::debug_state() const {

@@ -142,6 +142,35 @@ TEST(ObservationTest, StallCyclesAccountForEveryCycle) {
             pair.metrics.counter("sim.dram.scheduling_decisions").value_or(0));
 }
 
+TEST(ObservationTest, MshrPressureCountersAreExported) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  // Starved MSHR pools at both levels: every counter in the export must
+  // mirror the LaunchResult's own stats, and the scenario must actually
+  // produce pressure (nonzero) for the mirror check to mean anything.
+  const trace::SyntheticLaunch launch = make_launch(24);
+  sim::GpuConfig config = small_config();
+  config.l1_mshrs = 1;
+  config.l2_mshrs = 1;
+
+  Observation session(/*metrics_on=*/true, /*trace_on=*/false);
+  sim::GpuSimulator simulator(config);
+  sim::RunOptions options;
+  options.observe = sim::LaunchObservation{
+      .metrics = session.metrics_shard("launch/000000"),
+      .trace = nullptr,
+      .pid = 1,
+  };
+  const sim::LaunchResult result = simulator.run_launch(launch, options);
+  const MetricsSnapshot metrics = session.merged_metrics();
+
+  EXPECT_GT(result.mem.l1_mshr_stalls, 0u);
+  EXPECT_GT(result.mem.l2_mshr_overflows, 0u);
+  EXPECT_EQ(metrics.counter("sim.l1.mshr_stalls"), result.mem.l1_mshr_stalls);
+  EXPECT_EQ(metrics.counter("sim.l1.mshr_merges"), result.mem.l1_mshr_merges);
+  EXPECT_EQ(metrics.counter("sim.l2.mshr_stalls"), result.mem.l2_mshr_overflows);
+  EXPECT_EQ(metrics.counter("sim.l2.mshr_merges"), result.mem.l2_mshr_merges);
+}
+
 TEST(ObservationTest, TraceCoversEveryBlock) {
   if (!kEnabled) GTEST_SKIP() << "observability compiled out";
   const std::uint32_t n_blocks = 24;

@@ -1,0 +1,289 @@
+// Byte-identity of the intra-launch SM-sharded engine: for every workload
+// shape, machine geometry, controller behavior and sim_jobs value, a
+// sharded run must be indistinguishable from the serial engine — same
+// cycle count, same per-SM stats, same sampling units in the same order,
+// same memory counters, same flushed metrics.  This is the contract that
+// lets every downstream consumer (manifests, caches, baselines, the
+// fuzzer's oracles) treat sim_jobs as a pure wall-clock knob.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/gpu.hpp"
+#include "stats/rng.hpp"
+#include "trace/generator.hpp"
+#include "workloads/workload.hpp"
+
+namespace tbp::sim {
+namespace {
+
+struct Draw {
+  trace::SyntheticLaunch launch;
+  GpuConfig config;
+};
+
+/// Randomized launch/machine shapes, biased toward the regimes that stress
+/// the epoch scheme: several SMs, memory pressure (small MSHR pools so the
+/// overflow-retry path runs), occasional barriers and divergence.
+Draw draw(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  trace::BlockBehavior b;
+  b.loop_iterations = 2 + static_cast<std::uint32_t>(rng.below(8));
+  b.alu_per_iteration = 1 + static_cast<std::uint32_t>(rng.below(6));
+  b.sfu_per_iteration = static_cast<std::uint32_t>(rng.below(3));
+  b.mem_per_iteration = static_cast<std::uint32_t>(rng.below(4));
+  b.stores_per_iteration = static_cast<std::uint32_t>(rng.below(3));
+  b.shared_per_iteration = static_cast<std::uint32_t>(rng.below(3));
+  b.branch_divergence = rng.uniform(0.0, 0.5);
+  b.lines_per_access = static_cast<std::uint8_t>(1 + rng.below(8));
+  b.pattern = static_cast<trace::AddressPattern>(rng.below(3));
+  b.working_set_lines = 1u << (8 + rng.below(8));
+  b.region_base_line = rng.below(2) ? (1u << 20) : 0;
+  b.barrier_per_iteration = rng.below(4) == 0;
+  b.stride_lines = static_cast<std::uint32_t>(1 + rng.below(64));
+
+  trace::KernelInfo kernel = trace::make_synthetic_kernel_info("shard");
+  kernel.threads_per_block = 128u << rng.below(3);
+
+  const auto n_blocks = static_cast<std::uint32_t>(8 + rng.below(24));
+  const std::uint32_t base_iters = b.loop_iterations;
+  auto behavior = [b, base_iters, seed](std::uint32_t block_id) {
+    trace::BlockBehavior out = b;
+    stats::Rng block_rng = stats::Rng(seed).substream(block_id);
+    out.loop_iterations =
+        base_iters + static_cast<std::uint32_t>(block_rng.below(3));
+    return out;
+  };
+
+  GpuConfig config = fermi_config();
+  config.n_sms = static_cast<std::uint32_t>(2 + rng.below(14));
+  config.n_channels = static_cast<std::uint32_t>(1 + rng.below(6));
+  config.l1_mshrs = static_cast<std::uint32_t>(1 + rng.below(16));
+  config.l2_mshrs = static_cast<std::uint32_t>(4 + rng.below(32));
+  if (rng.below(2) == 0) {
+    config.fixed_unit_insts = 500 + rng.below(4000);
+  }
+  return Draw{
+      trace::SyntheticLaunch(kernel, n_blocks, seed ^ 0x5eed, behavior),
+      config,
+  };
+}
+
+/// Skips a deterministic subset of blocks and records every controller
+/// callback, so the comparison covers callback order, not just end state.
+class RecordingController : public SimController {
+ public:
+  explicit RecordingController(std::uint32_t skip_modulus)
+      : skip_modulus_(skip_modulus) {}
+
+  BlockAction on_block_dispatch(std::uint32_t block_id,
+                                std::uint64_t cycle) override {
+    log_.push_back({0, block_id, cycle});
+    if (skip_modulus_ != 0 && block_id % skip_modulus_ == 0) {
+      return BlockAction::kSkip;
+    }
+    return BlockAction::kSimulate;
+  }
+  void on_block_retire(std::uint32_t block_id, std::uint64_t cycle,
+                       bool was_skipped) override {
+    log_.push_back({was_skipped ? 2u : 1u, block_id, cycle});
+  }
+  void on_sampling_unit(const SamplingUnit& unit) override {
+    log_.push_back({3, unit.end_block_id, unit.end_cycle});
+    log_.push_back({4, static_cast<std::uint32_t>(unit.warp_insts),
+                    unit.start_cycle});
+  }
+
+  struct Event {
+    std::uint32_t kind = 0;
+    std::uint32_t id = 0;
+    std::uint64_t cycle = 0;
+    bool operator==(const Event&) const = default;
+  };
+  [[nodiscard]] const std::vector<Event>& log() const noexcept { return log_; }
+
+ private:
+  std::uint32_t skip_modulus_ = 0;
+  std::vector<Event> log_;
+};
+
+void expect_identical(const LaunchResult& a, const LaunchResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.sim_warp_insts, b.sim_warp_insts);
+  EXPECT_EQ(a.sim_thread_insts, b.sim_thread_insts);
+  EXPECT_EQ(a.sm_occupancy, b.sm_occupancy);
+  EXPECT_EQ(a.system_occupancy, b.system_occupancy);
+  EXPECT_EQ(a.skipped_blocks, b.skipped_blocks);
+
+  ASSERT_EQ(a.per_sm.size(), b.per_sm.size());
+  for (std::size_t s = 0; s < a.per_sm.size(); ++s) {
+    EXPECT_EQ(a.per_sm[s].warp_insts, b.per_sm[s].warp_insts) << "SM " << s;
+    EXPECT_EQ(a.per_sm[s].thread_insts, b.per_sm[s].thread_insts) << "SM " << s;
+  }
+
+  ASSERT_EQ(a.tb_units.size(), b.tb_units.size());
+  for (std::size_t i = 0; i < a.tb_units.size(); ++i) {
+    EXPECT_EQ(a.tb_units[i].start_cycle, b.tb_units[i].start_cycle) << i;
+    EXPECT_EQ(a.tb_units[i].end_cycle, b.tb_units[i].end_cycle) << i;
+    EXPECT_EQ(a.tb_units[i].warp_insts, b.tb_units[i].warp_insts) << i;
+    EXPECT_EQ(a.tb_units[i].end_block_id, b.tb_units[i].end_block_id) << i;
+  }
+  ASSERT_EQ(a.fixed_units.size(), b.fixed_units.size());
+  for (std::size_t i = 0; i < a.fixed_units.size(); ++i) {
+    EXPECT_EQ(a.fixed_units[i].start_cycle, b.fixed_units[i].start_cycle) << i;
+    EXPECT_EQ(a.fixed_units[i].end_cycle, b.fixed_units[i].end_cycle) << i;
+    EXPECT_EQ(a.fixed_units[i].warp_insts, b.fixed_units[i].warp_insts) << i;
+    EXPECT_EQ(a.fixed_units[i].thread_insts, b.fixed_units[i].thread_insts) << i;
+    EXPECT_EQ(a.fixed_units[i].bbv, b.fixed_units[i].bbv) << i;
+  }
+
+  EXPECT_EQ(a.mem.l1.hits, b.mem.l1.hits);
+  EXPECT_EQ(a.mem.l1.misses, b.mem.l1.misses);
+  EXPECT_EQ(a.mem.l1.evictions, b.mem.l1.evictions);
+  EXPECT_EQ(a.mem.l2.hits, b.mem.l2.hits);
+  EXPECT_EQ(a.mem.l2.misses, b.mem.l2.misses);
+  EXPECT_EQ(a.mem.l2.evictions, b.mem.l2.evictions);
+  EXPECT_EQ(a.mem.l1_mshr_merges, b.mem.l1_mshr_merges);
+  EXPECT_EQ(a.mem.l2_mshr_merges, b.mem.l2_mshr_merges);
+  EXPECT_EQ(a.mem.l1_mshr_stalls, b.mem.l1_mshr_stalls);
+  EXPECT_EQ(a.mem.l2_mshr_overflows, b.mem.l2_mshr_overflows);
+  EXPECT_EQ(a.mem.dram.row_hits, b.mem.dram.row_hits);
+  EXPECT_EQ(a.mem.dram.row_misses, b.mem.dram.row_misses);
+  EXPECT_EQ(a.mem.dram.loads, b.mem.dram.loads);
+  EXPECT_EQ(a.mem.dram.stores, b.mem.dram.stores);
+  EXPECT_EQ(a.mem.dram.scheduling_decisions, b.mem.dram.scheduling_decisions);
+}
+
+struct ObservedRun {
+  LaunchResult result;
+  obs::MetricsSnapshot metrics;
+  std::vector<RecordingController::Event> controller_log;
+};
+
+ObservedRun run_observed(const Draw& d, std::uint32_t sim_jobs,
+                         std::uint32_t skip_modulus) {
+  GpuSimulator simulator(d.config);
+  RecordingController controller(skip_modulus);
+  obs::MetricsShard shard;
+  RunOptions options;
+  options.sim_jobs = sim_jobs;
+  if (skip_modulus != ~0u) options.controller = &controller;
+  options.observe = LaunchObservation{.metrics = &shard};
+  ObservedRun run;
+  run.result = simulator.run_launch(d.launch, options);
+  run.metrics.absorb(shard);
+  run.controller_log = controller.log();
+  return run;
+}
+
+class ShardedEngine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedEngine, MatchesSerialExactly) {
+  const Draw d = draw(GetParam());
+  const ObservedRun serial = run_observed(d, 1, ~0u);
+  for (std::uint32_t jobs : {2u, 5u}) {
+    const ObservedRun sharded = run_observed(d, jobs, ~0u);
+    expect_identical(serial.result, sharded.result);
+    EXPECT_EQ(serial.metrics.counters, sharded.metrics.counters)
+        << "sim_jobs=" << jobs;
+  }
+}
+
+TEST_P(ShardedEngine, MatchesSerialWithSkippingController) {
+  const Draw d = draw(GetParam() ^ 0xc0ffee);
+  const std::uint32_t skip_modulus = 3;
+  const ObservedRun serial = run_observed(d, 1, skip_modulus);
+  const ObservedRun sharded = run_observed(d, 4, skip_modulus);
+  expect_identical(serial.result, sharded.result);
+  EXPECT_EQ(serial.metrics.counters, sharded.metrics.counters);
+  // Every controller callback fires at the same cycle, in the same order.
+  EXPECT_EQ(serial.controller_log, sharded.controller_log);
+}
+
+TEST_P(ShardedEngine, OversubscribedJobsMatchToo) {
+  // More workers than SMs (and than cores, for large values) must change
+  // nothing: the worker count clamps to the SM count.
+  const Draw d = draw(GetParam() ^ 0xdeadbeef);
+  const ObservedRun serial = run_observed(d, 1, ~0u);
+  const ObservedRun sharded = run_observed(d, 64, ~0u);
+  expect_identical(serial.result, sharded.result);
+  EXPECT_EQ(serial.metrics.counters, sharded.metrics.counters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedEngine,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ShardedEngineEdge, SkipEveryBlockStillOneCycle) {
+  const Draw d = draw(99);
+  // skip_modulus = 1 skips every block: the launch is pure fast-forward.
+  const ObservedRun serial = run_observed(d, 1, 1);
+  const ObservedRun sharded = run_observed(d, 4, 1);
+  EXPECT_EQ(serial.result.cycles, 1u);
+  expect_identical(serial.result, sharded.result);
+  EXPECT_EQ(serial.metrics.counters, sharded.metrics.counters);
+  EXPECT_EQ(serial.controller_log, sharded.controller_log);
+}
+
+TEST(ShardedEngineEdge, SingleSmFallsBackToSerial) {
+  Draw d = draw(7);
+  d.config.n_sms = 1;
+  const ObservedRun serial = run_observed(d, 1, ~0u);
+  const ObservedRun sharded = run_observed(d, 4, ~0u);
+  expect_identical(serial.result, sharded.result);
+}
+
+TEST(ShardedEngineEdge, TimeoutReportsIdenticalFailure) {
+  const Draw d = draw(21);
+  for (const std::uint64_t budget : {1ull, 7ull, 100ull, 1000ull}) {
+    RunOptions options;
+    options.max_cycles = budget;
+    GpuSimulator simulator(d.config);
+    WatchdogDiagnostic serial_diag;
+    const Result<LaunchResult> serial =
+        simulator.run_launch_checked(d.launch, options, &serial_diag);
+    options.sim_jobs = 4;
+    WatchdogDiagnostic sharded_diag;
+    const Result<LaunchResult> sharded =
+        simulator.run_launch_checked(d.launch, options, &sharded_diag);
+    ASSERT_FALSE(serial.has_value());
+    ASSERT_FALSE(sharded.has_value());
+    EXPECT_EQ(serial.status().code(), sharded.status().code());
+    EXPECT_EQ(serial.status().message(), sharded.status().message());
+    EXPECT_EQ(serial_diag.cycle, sharded_diag.cycle);
+    EXPECT_EQ(serial_diag.warp_insts, sharded_diag.warp_insts);
+    EXPECT_EQ(serial_diag.dispatched_blocks, sharded_diag.dispatched_blocks);
+  }
+}
+
+// The acceptance-level sweep: every Table VI workload model, every launch,
+// serial vs sharded.  Scaled small so the whole sweep stays test-sized;
+// the randomized ShardedEngine suite above covers the hostile geometries.
+TEST(ShardedEngineWorkloads, AllWorkloadModelsMatchSerial) {
+  const workloads::WorkloadScale scale{.divisor = 192, .seed = 0x7b90147};
+  for (const workloads::Workload& workload :
+       workloads::make_all_workloads(scale)) {
+    const auto sources = workload.sources();
+    // First and last launch per model: under the growth/contraction launch
+    // sequences these are the extreme shapes; the middle launches add
+    // wall-clock (minutes, on one core) without adding new regimes.
+    std::vector<std::size_t> picks = {0};
+    if (sources.size() > 1) picks.push_back(sources.size() - 1);
+    for (const std::size_t i : picks) {
+      RunOptions serial_options;
+      RunOptions sharded_options;
+      sharded_options.sim_jobs = 4;
+      GpuSimulator simulator(fermi_config());
+      const LaunchResult serial =
+          simulator.run_launch(*sources[i], serial_options);
+      const LaunchResult sharded =
+          simulator.run_launch(*sources[i], sharded_options);
+      SCOPED_TRACE(workload.name + " launch " + std::to_string(i));
+      expect_identical(serial, sharded);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbp::sim

@@ -178,6 +178,55 @@ TEST(SmBehaviorTest, OccupancyOneSerializesBlocks) {
   EXPECT_GE(four.cycles, one.cycles * 3);
 }
 
+/// A launch whose blocks each run their own hand-written warp streams.
+class VaryingTrace final : public trace::LaunchTraceSource {
+ public:
+  VaryingTrace(KernelInfo kernel, std::vector<BlockTrace> traces)
+      : kernel_(std::move(kernel)), traces_(std::move(traces)) {}
+
+  [[nodiscard]] const KernelInfo& kernel() const override { return kernel_; }
+  [[nodiscard]] std::uint32_t n_blocks() const override {
+    return static_cast<std::uint32_t>(traces_.size());
+  }
+  [[nodiscard]] BlockTrace block_trace(std::uint32_t block_id) const override {
+    return traces_[block_id];
+  }
+
+ private:
+  KernelInfo kernel_;
+  std::vector<BlockTrace> traces_;
+};
+
+// Regression: the GTO greedy cursor must not survive block retirement.  The
+// old scheduler left gto_current_ pointing at the retired block's warp; when
+// a new block was dispatched into the reused slot, the stale cursor made the
+// scheduler "greedily" issue the brand-new block's warp ahead of an older
+// block's equally-ready warp — inverting the Oldest tie-break.
+//
+// Hand-trace (int_alu=8, sfu=20, one warp per block, occupancy 2):
+//   cycle 0: B0.alu (oldest)        cycle 1: B1.alu
+//   cycle 8: B0.exit -> B0 retires with the greedy cursor on slot 0
+//   cycle 9: B2 dispatched into slot 0; B1's warp is also ready (1+8).
+//     fixed:   cursor invalidated -> Oldest picks B1.sfu at 9 (exit at 29)
+//     pre-fix: stale cursor greedy-issues B2.alu at 9, pushing B1.sfu to 10
+// B1's sfu->exit chain is the critical path, so the one-cycle inversion
+// reaches the launch total: 30 cycles fixed, 31 with the stale cursor.
+TEST(SmBehaviorTest, GtoCursorDoesNotFollowSlotReuse) {
+  KernelInfo k = one_warp_kernel();
+  k.shared_mem_per_block = 24576;  // half the SM: exactly two resident blocks
+  BlockTrace short_block;          // B0, B2
+  short_block.warps = {{make_inst(Op::kIntAlu), make_inst(Op::kExit)}};
+  BlockTrace sfu_block;            // B1: the critical path
+  sfu_block.warps = {{make_inst(Op::kIntAlu), make_inst(Op::kSfu),
+                      make_inst(Op::kExit)}};
+  GpuConfig config = one_sm_config();
+  config.scheduler = WarpScheduler::kGreedyThenOldest;
+  const LaunchResult result = GpuSimulator(config).run_launch(
+      VaryingTrace(k, {short_block, sfu_block, short_block}));
+  EXPECT_EQ(result.sm_occupancy, 2u);
+  EXPECT_EQ(result.cycles, 30u);
+}
+
 TEST(SmBehaviorTest, WideBlocksUseAllWarpContexts) {
   KernelInfo k = one_warp_kernel();
   k.threads_per_block = 1024;  // 32 warps

@@ -11,14 +11,14 @@
 //   tbpoint_cli run      <workload> [--scale N] [--sms S] [--warps W]
 //                        [--inter-sigma X] [--intra-sigma X] [--vf X]
 //                        [--no-inter] [--no-intra] [--gto] [--validate]
-//                        [--jobs N]
+//                        [--jobs N] [--sim-jobs N]
 //       Full TBPoint pipeline; prints predicted IPC and sample size.
 //   tbpoint_cli compare  <workload> [--scale N] [--sms S] [--warps W]
-//                        [--validate] [--jobs N]
+//                        [--validate] [--jobs N] [--sim-jobs N]
 //       Four-way Full / Random / Ideal-SimPoint / TBPoint comparison.
 //   tbpoint_cli simulate <workload> [--launch N] [--scale N] [--sms S]
 //                        [--warps W] [--gto] [--max-cycles N]
-//                        [--stall-limit N] [--validate]
+//                        [--stall-limit N] [--validate] [--sim-jobs N]
 //       Plain full simulation (all launches, or one with --launch),
 //       printing per-launch cycles and IPC.  A deadlocked or over-budget
 //       launch prints the watchdog diagnostic (stall age, dispatch
@@ -49,7 +49,9 @@
 // malformed numbers are a usage error (exit 2), never silently zero.
 // --jobs N (default: hardware concurrency) bounds the parallelism of the
 // independent launch profiles/simulations; every value produces the same
-// numbers — only wall-clock changes.
+// numbers — only wall-clock changes.  --sim-jobs N (default 1) additionally
+// shards the SMs *inside* each launch simulation (DESIGN.md "Intra-launch
+// parallel simulation") with the same bit-identity guarantee.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -188,6 +190,17 @@ std::size_t jobs_from_flags(int argc, char** argv) {
   }
   par::set_global_jobs(jobs);
   return jobs;
+}
+
+/// Strict --sim-jobs parsing (default 1 = the serial launch engine).
+std::uint32_t sim_jobs_from_flags(int argc, char** argv) {
+  const std::uint32_t sim_jobs = flag_u32(argc, argv, "--sim-jobs", 1);
+  if (sim_jobs == 0) {
+    std::fprintf(stderr,
+                 "tbpoint_cli: invalid value for --sim-jobs: must be >= 1\n");
+    std::exit(2);
+  }
+  return sim_jobs;
 }
 
 workloads::WorkloadScale scale_from_flags(int argc, char** argv) {
@@ -378,6 +391,7 @@ int cmd_run(int argc, char** argv) {
 
   core::TBPointOptions options;
   options.jobs = jobs;
+  options.sim_jobs = sim_jobs_from_flags(argc, argv);
   options.inter.distance_threshold = flag_double(argc, argv, "--inter-sigma", 0.1);
   options.intra.distance_threshold = flag_double(argc, argv, "--intra-sigma", 0.2);
   options.intra.variation_factor_threshold = flag_double(argc, argv, "--vf", 0.3);
@@ -428,6 +442,7 @@ int cmd_compare(int argc, char** argv) {
   if (argc < 3) usage();
   harness::ComparisonOptions options;
   options.jobs = jobs_from_flags(argc, argv);
+  options.sim_jobs = sim_jobs_from_flags(argc, argv);
   const workloads::Workload workload =
       workloads::make_workload(argv[2], scale_from_flags(argc, argv));
   if (!validate_if_requested(argc, argv, workload)) return 1;
@@ -481,6 +496,7 @@ int cmd_simulate(int argc, char** argv) {
   const CliObservation observation = CliObservation::from_flags(argc, argv);
 
   sim::RunOptions base_options;
+  base_options.sim_jobs = sim_jobs_from_flags(argc, argv);
   base_options.max_cycles =
       flag_u64(argc, argv, "--max-cycles", base_options.max_cycles);
   base_options.stall_cycle_limit =
@@ -573,6 +589,7 @@ int cmd_simulate(int argc, char** argv) {
     });
     core::TBPointOptions tbp_options;
     tbp_options.jobs = jobs;
+    tbp_options.sim_jobs = base_options.sim_jobs;
     tbp_options.observe = observation.get();
     tbp_options.observe_key_prefix = workload.name + "/tbp/";
     const core::TBPointRun run =
