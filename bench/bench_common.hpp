@@ -168,6 +168,24 @@ inline void write_bench_perf(const harness::CommonFlags& flags,
     body.set("entries", std::move(entries));
     body.set("total_sim_seconds", total_sim_seconds);
     body.set("wall_seconds", wall_seconds);
+    // Result-store traffic for this process (EXPERIMENTS.md "Result store"
+    // reads the hit rate off repeated runs).  Cache-state-dependent, like
+    // every other number in this document — the byte-deterministic run
+    // manifest deliberately excludes it.
+    {
+      obs::MetricsShard cache_shard;
+      harness::flush_cache_metrics(&cache_shard);
+      obs::MetricsSnapshot cache_metrics;
+      cache_metrics.absorb(cache_shard);
+      obs::JsonValue store = obs::JsonValue::object();
+      for (const std::string_view name :
+           {"hits", "misses", "puts", "evictions", "quarantined", "rebuilds"}) {
+        store.set(std::string(name),
+                  cache_metrics.counter("store." + std::string(name))
+                      .value_or(0));
+      }
+      body.set("store", std::move(store));
+    }
     const Status status = obs::write_json_file(
         obs::seal_json(obs::kBenchPerfSchema, std::move(body)),
         flags.perf_json_path);

@@ -3,14 +3,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
 
+#include "store/migrate.hpp"
+#include "store/store.hpp"
 #include "support/artifact.hpp"
-#include "support/atomic_file.hpp"
 
 namespace tbp::harness {
 namespace {
@@ -22,11 +23,6 @@ constexpr io::ArtifactFormat kRowFormat{
     .kind = "cache-row",
 };
 
-[[nodiscard]] std::filesystem::path row_path(const std::string& cache_dir,
-                                             const std::string& key) {
-  return std::filesystem::path(cache_dir) / (key + ".txt");
-}
-
 /// FNV-1a over a string; the key embeds readable fields plus this hash of
 /// the full option dump, so any option change invalidates the entry.
 [[nodiscard]] std::uint64_t fnv1a(const std::string& s) noexcept {
@@ -36,6 +32,120 @@ constexpr io::ArtifactFormat kRowFormat{
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+/// The sealed tbpoint-row-v3 artifact text for a row (also the store
+/// payload, so entries stay self-contained and versioned).
+[[nodiscard]] std::string serialize_row(const ExperimentRow& row) {
+  std::ostringstream out;
+  out.precision(17);
+  out << row.workload << ' ' << (row.irregular ? 1 : 0) << ' ' << row.n_launches
+      << ' ' << row.total_blocks << ' ' << row.total_warp_insts << ' '
+      << row.full_ipc << ' ' << row.random.ipc << ' ' << row.random.err_pct << ' '
+      << row.random.sample_pct << ' ' << row.simpoint.ipc << ' '
+      << row.simpoint.err_pct << ' ' << row.simpoint.sample_pct << ' '
+      << row.systematic.ipc << ' ' << row.systematic.err_pct << ' '
+      << row.systematic.sample_pct << ' '
+      << row.tbpoint.ipc << ' ' << row.tbpoint.err_pct << ' '
+      << row.tbpoint.sample_pct << ' ' << row.inter_skip_share << ' '
+      << row.simpoint_k << ' ' << row.tbp_clusters << ' ' << row.unit_insts << ' '
+      << row.full_sim_seconds << ' ' << row.tbp_seconds << '\n';
+  return io::seal_artifact(kRowFormat.magic, out.str());
+}
+
+/// Parses a sealed row artifact (current v3, or legacy v2 without
+/// checksum).  `context` names the source in error messages.
+[[nodiscard]] Result<ExperimentRow> parse_row_text(const std::string& text,
+                                                   const std::string& context) {
+  Result<std::string> body = io::unseal_artifact(text, kRowFormat);
+  if (!body.has_value()) return body.status();
+  std::istringstream in(*body);
+  ExperimentRow row;
+  int irregular = 0;
+  if (!(in >> row.workload >> irregular >> row.n_launches >> row.total_blocks >>
+        row.total_warp_insts >> row.full_ipc >> row.random.ipc >>
+        row.random.err_pct >> row.random.sample_pct >> row.simpoint.ipc >>
+        row.simpoint.err_pct >> row.simpoint.sample_pct >> row.systematic.ipc >>
+        row.systematic.err_pct >> row.systematic.sample_pct >> row.tbpoint.ipc >>
+        row.tbpoint.err_pct >> row.tbpoint.sample_pct >> row.inter_skip_share >>
+        row.simpoint_k >> row.tbp_clusters >> row.unit_insts >>
+        row.full_sim_seconds >> row.tbp_seconds)) {
+    return Status(StatusCode::kCorrupt,
+                  "cache-row: unreadable fields in " + context);
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Status(StatusCode::kCorrupt,
+                  "cache-row: trailing garbage in " + context);
+  }
+  row.irregular = irregular != 0;
+  // Anything read from disk carries timings measured by the original
+  // run; timing-consuming callers check this marker.
+  row.from_cache = true;
+  return row;
+}
+
+/// Per-directory store registry.  One ContentStore per cache directory per
+/// process: the store's own mutex serializes row I/O, and opening (index
+/// load + one-shot legacy import) happens once.
+struct StoreRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<store::ContentStore>> stores;
+};
+
+[[nodiscard]] StoreRegistry& registry() {
+  static StoreRegistry instance;
+  return instance;
+}
+
+[[nodiscard]] std::string normalize_dir(const std::string& cache_dir) {
+  std::error_code ec;
+  std::filesystem::path abs = std::filesystem::absolute(cache_dir, ec);
+  if (ec) abs = cache_dir;
+  return abs.lexically_normal().string();
+}
+
+/// Imports legacy flat `<stem>.txt` rows sitting next to the store.  Valid
+/// rows are re-encoded as current-format payloads (originals untouched);
+/// unparseable ones are deleted, matching the old quarantine behavior.
+void import_legacy_rows(store::ContentStore& store_ref,
+                        const std::filesystem::path& dir) {
+  store::LegacyImportSpec spec;
+  spec.suffix = ".txt";
+  spec.key_for_stem = [](std::string_view stem) {
+    return experiment_store_key(std::string(stem));
+  };
+  spec.recode = [](std::string_view stem,
+                   const std::string& text) -> Result<std::string> {
+    Result<ExperimentRow> row = parse_row_text(text, std::string(stem));
+    if (!row.has_value()) return row.status();
+    return serialize_row(*row);
+  };
+  // Import is best-effort: a failure leaves the store cold, not broken.
+  (void)store::import_legacy_flat_files(store_ref, dir, spec);
+}
+
+/// The opened store for `cache_dir`, creating the directory only when
+/// `create` is set.  Returns kNotFound for a missing directory on the
+/// read-only path so lookups never materialize empty cache trees.
+[[nodiscard]] Result<store::ContentStore*> store_for(
+    const std::string& cache_dir, bool create) {
+  StoreRegistry& reg = registry();
+  std::scoped_lock lock(reg.mutex);
+  const std::string dir_key = normalize_dir(cache_dir);
+  if (const auto it = reg.stores.find(dir_key); it != reg.stores.end()) {
+    return it->second.get();
+  }
+  store::StoreOptions options;
+  options.create = create;
+  auto candidate = std::make_unique<store::ContentStore>(
+      std::filesystem::path(cache_dir), options);
+  Status opened = candidate->open();
+  if (!opened.ok()) return opened;  // not cached: a later create may succeed
+  import_legacy_rows(*candidate, std::filesystem::path(cache_dir));
+  const auto [it, inserted] =
+      reg.stores.emplace(dir_key, std::move(candidate));
+  return it->second.get();
 }
 
 }  // namespace
@@ -80,68 +190,38 @@ std::string experiment_key(const std::string& workload_name,
   return key.str();
 }
 
+store::StoreKey experiment_store_key(const std::string& key) {
+  return store::make_key("row", kRowFormat.magic, key, key);
+}
+
+std::filesystem::path cached_row_path(const std::string& cache_dir,
+                                      const std::string& key) {
+  const store::ContentStore probe(std::filesystem::path(cache_dir),
+                                  store::StoreOptions{});
+  return probe.entry_path(experiment_store_key(key));
+}
+
 Result<ExperimentRow> load_cached_row(const std::string& cache_dir,
                                       const std::string& key) {
-  const std::filesystem::path path = row_path(cache_dir, key);
-  Result<std::string> text = io::read_file_limited(path);
-  if (!text.has_value()) return text.status();
-
-  const auto parse = [&]() -> Result<ExperimentRow> {
-    Result<std::string> body = io::unseal_artifact(*text, kRowFormat);
-    if (!body.has_value()) return body.status();
-    std::istringstream in(*body);
-    ExperimentRow row;
-    int irregular = 0;
-    if (!(in >> row.workload >> irregular >> row.n_launches >> row.total_blocks >>
-          row.total_warp_insts >> row.full_ipc >> row.random.ipc >>
-          row.random.err_pct >> row.random.sample_pct >> row.simpoint.ipc >>
-          row.simpoint.err_pct >> row.simpoint.sample_pct >> row.systematic.ipc >>
-          row.systematic.err_pct >> row.systematic.sample_pct >> row.tbpoint.ipc >>
-          row.tbpoint.err_pct >> row.tbpoint.sample_pct >> row.inter_skip_share >>
-          row.simpoint_k >> row.tbp_clusters >> row.unit_insts >>
-          row.full_sim_seconds >> row.tbp_seconds)) {
-      return Status(StatusCode::kCorrupt, "cache-row: unreadable fields in " +
-                                              path.string());
-    }
-    std::string extra;
-    if (in >> extra) {
-      return Status(StatusCode::kCorrupt,
-                    "cache-row: trailing garbage in " + path.string());
-    }
-    row.irregular = irregular != 0;
-    // Anything read from disk carries timings measured by the original
-    // run; timing-consuming callers check this marker.
-    row.from_cache = true;
-    return row;
-  };
-
-  Result<ExperimentRow> row = parse();
+  Result<store::ContentStore*> cache = store_for(cache_dir, /*create=*/false);
+  if (!cache.has_value()) return cache.status();
+  const store::StoreKey store_key = experiment_store_key(key);
+  Result<std::string> payload = (*cache)->get(store_key);
+  if (!payload.has_value()) return payload.status();
+  Result<ExperimentRow> row = parse_row_text(*payload, key);
   if (!row.has_value()) {
-    // Quarantine: a row that fails validation would otherwise fail every
-    // run; deleting it makes the next lookup a clean miss (recompute).
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
+    // The entry passed the store's checksum but not the row codec (e.g. a
+    // payload written under a buggy serializer).  Quarantine it here too.
+    (void)(*cache)->remove(store_key);
   }
   return row;
 }
 
 Status save_cached_row(const std::string& cache_dir, const std::string& key,
                        const ExperimentRow& row) {
-  std::ostringstream out;
-  out.precision(17);
-  out << row.workload << ' ' << (row.irregular ? 1 : 0) << ' ' << row.n_launches
-      << ' ' << row.total_blocks << ' ' << row.total_warp_insts << ' '
-      << row.full_ipc << ' ' << row.random.ipc << ' ' << row.random.err_pct << ' '
-      << row.random.sample_pct << ' ' << row.simpoint.ipc << ' '
-      << row.simpoint.err_pct << ' ' << row.simpoint.sample_pct << ' '
-      << row.systematic.ipc << ' ' << row.systematic.err_pct << ' '
-      << row.systematic.sample_pct << ' '
-      << row.tbpoint.ipc << ' ' << row.tbpoint.err_pct << ' '
-      << row.tbpoint.sample_pct << ' ' << row.inter_skip_share << ' '
-      << row.simpoint_k << ' ' << row.tbp_clusters << ' ' << row.unit_insts << ' '
-      << row.full_sim_seconds << ' ' << row.tbp_seconds << '\n';
-  return io::write_file_atomic(row_path(cache_dir, key),
-                               io::seal_artifact(kRowFormat.magic, out.str()));
+  Result<store::ContentStore*> cache = store_for(cache_dir, /*create=*/true);
+  if (!cache.has_value()) return cache.status();
+  return (*cache)->put(experiment_store_key(key), serialize_row(row));
 }
 
 namespace {
@@ -152,6 +232,12 @@ namespace {
 // share its row.  The on-disk cache alone cannot provide this — both
 // threads would miss, both would simulate, and one write would win — the
 // atomic-rename discipline only keeps the racing *files* untorn.
+//
+// The guard map must never accumulate completed keys (a sweep would pin
+// every row in memory for the process lifetime), so the owner erases its
+// key under the lock on every exit path — including when the computation
+// throws — via RAII.  Waiters hold their own shared_ptr to the slot, so
+// erasing the map entry never invalidates a waiter.
 struct InFlightRow {
   std::mutex mutex;
   std::condition_variable cv;
@@ -161,9 +247,38 @@ struct InFlightRow {
 };
 
 std::mutex g_in_flight_mutex;
-std::unordered_map<std::string, std::shared_ptr<InFlightRow>> g_in_flight;
+std::map<std::string, std::shared_ptr<InFlightRow>> g_in_flight;
+
+/// Erases the owner's guard slot on destruction (normal return or unwind).
+class InFlightEraser {
+ public:
+  explicit InFlightEraser(std::string key) : key_(std::move(key)) {}
+  InFlightEraser(const InFlightEraser&) = delete;
+  InFlightEraser& operator=(const InFlightEraser&) = delete;
+  ~InFlightEraser() {
+    std::lock_guard<std::mutex> lock(g_in_flight_mutex);
+    g_in_flight.erase(key_);
+  }
+
+ private:
+  std::string key_;
+};
 
 }  // namespace
+
+std::size_t cache_in_flight_for_test() {
+  std::lock_guard<std::mutex> lock(g_in_flight_mutex);
+  return g_in_flight.size();
+}
+
+void flush_cache_metrics(obs::MetricsShard* shard) {
+  if (shard == nullptr) return;
+  StoreRegistry& reg = registry();
+  std::scoped_lock lock(reg.mutex);
+  for (const auto& [dir, cache] : reg.stores) {
+    cache->flush_metrics(shard);
+  }
+}
 
 ExperimentRow cached_comparison(const std::string& workload_name,
                                 const workloads::WorkloadScale& scale,
@@ -189,6 +304,11 @@ ExperimentRow cached_comparison(const std::string& workload_name,
     if (entry->error != nullptr) std::rethrow_exception(entry->error);
     return entry->row;
   }
+
+  // Retire the guard on every exit path so a later request re-reads the
+  // (now warm) disk cache instead of holding rows in memory; destructor
+  // order publishes the result (below) before the slot disappears.
+  const InFlightEraser eraser(key);
 
   const auto compute = [&]() -> ExperimentRow {
     if (!cache_dir.empty()) {
@@ -221,12 +341,6 @@ ExperimentRow cached_comparison(const std::string& workload_name,
     entry->done = true;
   }
   entry->cv.notify_all();
-  {
-    // Retire the guard so a later request re-reads the (now warm) disk
-    // cache instead of holding every row of the run in memory.
-    std::lock_guard<std::mutex> lock(g_in_flight_mutex);
-    g_in_flight.erase(key);
-  }
   if (error != nullptr) std::rethrow_exception(error);
   return row;
 }

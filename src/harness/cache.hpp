@@ -1,4 +1,5 @@
-// On-disk result cache for experiment rows.
+// On-disk result cache for experiment rows, backed by the content-addressed
+// store (src/store).
 //
 // Figures 9, 10 and 11 are views of the same four-way comparison, and the
 // hardware-sensitivity sweeps re-run it per configuration; since every run
@@ -8,30 +9,52 @@
 // binaries ask for it.  Delete the cache directory (default
 // ./tbpoint_cache) or pass --no-cache to force recomputation.
 //
-// Rows are written atomically (temp file + rename) so concurrent runs
-// racing on the same key can never tear each other's entries, and carry a
-// crc32 trailer; a row that fails validation is quarantined (deleted) so
-// it is recomputed once instead of failing on every run.
+// Layout: each cache directory holds one ContentStore (sharded objects/
+// tree + index journal).  Rows are sealed tbpoint-row-v3 artifacts stored
+// as entry payloads, addressed by a hash of the experiment key.  Legacy
+// flat `<key>.txt` rows (the pre-store layout, including the committed
+// tbpoint_cache/ files) are imported on the directory's first open — valid
+// rows are re-keyed into the store (originals left in place), unparseable
+// ones are quarantined — so warm caches survive the upgrade.  Corrupt
+// store entries are likewise quarantined on read, making the next lookup a
+// clean miss instead of a persistent failure.
 #pragma once
 
+#include <cstddef>
+#include <filesystem>
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "sim/config.hpp"
+#include "store/key.hpp"
 #include "support/status.hpp"
 #include "workloads/workload.hpp"
 
 namespace tbp::harness {
 
-/// Stable fingerprint of everything that affects an ExperimentRow.
+/// Stable fingerprint of everything that affects an ExperimentRow
+/// ("<workload>_d<divisor>_s<hexseed>_c<option-hash>") — also the legacy
+/// flat-file stem, which is what lets the importer re-key old rows.
 [[nodiscard]] std::string experiment_key(const std::string& workload_name,
                                          const workloads::WorkloadScale& scale,
                                          const sim::GpuConfig& config,
                                          const ComparisonOptions& options);
 
-/// kNotFound on a plain miss; kCorrupt/kVersionMismatch/kTooLarge when the
-/// entry failed validation (the bad file is deleted so the next run starts
-/// from a clean miss).
+/// Store address for an experiment key: the row codec version is mixed in,
+/// so a future row-format bump starts a fresh namespace instead of
+/// misparsing old payloads.
+[[nodiscard]] store::StoreKey experiment_store_key(const std::string& key);
+
+/// Where `key`'s row lives inside `cache_dir`'s store (for tests and
+/// tooling that corrupt or inspect entries on disk).
+[[nodiscard]] std::filesystem::path cached_row_path(const std::string& cache_dir,
+                                                    const std::string& key);
+
+/// kNotFound on a plain miss (including a cache directory that does not
+/// exist yet — lookups never create it); kCorrupt/kVersionMismatch/
+/// kTooLarge when the entry failed validation (the bad entry is quarantined
+/// so the next run starts from a clean miss).
 [[nodiscard]] Result<ExperimentRow> load_cached_row(const std::string& cache_dir,
                                                     const std::string& key);
 
@@ -53,5 +76,14 @@ namespace tbp::harness {
                                               const sim::GpuConfig& config,
                                               const ComparisonOptions& options,
                                               const std::string& cache_dir);
+
+/// Number of keys currently held by the once-per-key guard.  The guard
+/// must not retain completed keys (they would pin every row of a sweep in
+/// memory for the process lifetime); tests assert it drains to zero.
+[[nodiscard]] std::size_t cache_in_flight_for_test();
+
+/// Folds the `store.*` counters of every cache store opened by this
+/// process into `shard`, in sorted cache-directory order.
+void flush_cache_metrics(obs::MetricsShard* shard);
 
 }  // namespace tbp::harness

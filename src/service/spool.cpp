@@ -1,0 +1,160 @@
+#include "service/spool.hpp"
+
+#include <algorithm>
+
+#include "obs/report.hpp"
+#include "support/atomic_file.hpp"
+
+namespace tbp::service {
+namespace {
+
+constexpr std::string_view kRequestsDir = "requests";
+constexpr std::string_view kClaimedDir = "claimed";
+constexpr std::string_view kResponsesDir = "responses";
+
+}  // namespace
+
+Status init_spool(const std::filesystem::path& root) {
+  for (const std::string_view sub : {kRequestsDir, kClaimedDir, kResponsesDir}) {
+    std::error_code ec;
+    std::filesystem::create_directories(root / sub, ec);
+    if (ec) {
+      return Status(StatusCode::kIoError, "cannot create spool dir " +
+                                              (root / sub).string() + ": " +
+                                              ec.message());
+    }
+  }
+  return Status();
+}
+
+bool valid_request_id(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 200 || id.front() == '.') return false;
+  for (const char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::filesystem::path request_path(const std::filesystem::path& root,
+                                   std::string_view id) {
+  return root / kRequestsDir / (std::string(id) + std::string(kRequestSuffix));
+}
+
+std::filesystem::path claimed_path(const std::filesystem::path& root,
+                                   std::string_view id) {
+  return root / kClaimedDir / (std::string(id) + std::string(kRequestSuffix));
+}
+
+std::filesystem::path response_path(const std::filesystem::path& root,
+                                    std::string_view id) {
+  return root / kResponsesDir /
+         (std::string(id) + std::string(kResponseSuffix));
+}
+
+Status submit_request(const std::filesystem::path& root, std::string_view id,
+                      std::string_view request_line) {
+  if (!valid_request_id(id)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "invalid request id '" + std::string(id) + "'");
+  }
+  return io::write_file_atomic(request_path(root, id), request_line);
+}
+
+Result<std::vector<std::string>> pending_requests(
+    const std::filesystem::path& root) {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  const std::filesystem::path inbox = root / kRequestsDir;
+  std::filesystem::directory_iterator it(inbox, ec);
+  if (ec) {
+    return Status(StatusCode::kIoError,
+                  "cannot scan " + inbox.string() + ": " + ec.message());
+  }
+  for (const auto& item : it) {
+    if (!item.is_regular_file()) continue;
+    const std::string name = item.path().filename().string();
+    const std::string suffix(kRequestSuffix);
+    if (name.size() <= suffix.size() ||
+        name.substr(name.size() - suffix.size()) != suffix) {
+      continue;  // temp files mid-submit, stray editor droppings
+    }
+    const std::string id = name.substr(0, name.size() - suffix.size());
+    if (!valid_request_id(id)) continue;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<std::string> claim_request(const std::filesystem::path& root,
+                                  std::string_view id) {
+  std::error_code ec;
+  std::filesystem::rename(request_path(root, id), claimed_path(root, id), ec);
+  if (ec) {
+    // Renames fail when the source vanished — a racing claimer won.  Either
+    // way this id is no longer ours to process.
+    return Status(StatusCode::kNotFound,
+                  "request " + std::string(id) + " not claimable: " +
+                      ec.message());
+  }
+  return io::read_file_limited(claimed_path(root, id));
+}
+
+Status write_response(const std::filesystem::path& root, std::string_view id,
+                      std::string_view response_bytes) {
+  return io::write_file_atomic(response_path(root, id), response_bytes);
+}
+
+Status finish_request(const std::filesystem::path& root, std::string_view id) {
+  std::error_code ec;
+  std::filesystem::remove(claimed_path(root, id), ec);
+  if (ec) {
+    return Status(StatusCode::kIoError, "cannot remove claimed marker for " +
+                                            std::string(id) + ": " +
+                                            ec.message());
+  }
+  return Status();
+}
+
+Result<std::string> try_read_response(const std::filesystem::path& root,
+                                      std::string_view id) {
+  return io::read_file_limited(response_path(root, id));
+}
+
+std::string error_response(const Status& status) {
+  obs::JsonValue body = obs::JsonValue::object();
+  body.set("code", std::string(status_code_name(status.code())));
+  body.set("message", status.message());
+  return obs::json_serialize_pretty(obs::seal_json(kErrorSchema,
+                                                   std::move(body))) +
+         "\n";
+}
+
+Status response_error(std::string_view response_bytes) {
+  Result<obs::JsonValue> body = obs::open_json(response_bytes, kErrorSchema);
+  if (!body.has_value()) return Status();  // not an error document
+  std::string message = "service error";
+  if (const obs::JsonValue* m = body->find("message");
+      m != nullptr && m->is_string()) {
+    message = m->as_string();
+  }
+  StatusCode code = StatusCode::kInvalidArgument;
+  if (const obs::JsonValue* c = body->find("code");
+      c != nullptr && c->is_string()) {
+    for (const StatusCode candidate :
+         {StatusCode::kNotFound, StatusCode::kIoError, StatusCode::kCorrupt,
+          StatusCode::kVersionMismatch, StatusCode::kTooLarge,
+          StatusCode::kInvalidArgument, StatusCode::kDeadlock,
+          StatusCode::kTimeout}) {
+      if (c->as_string() == status_code_name(candidate)) {
+        code = candidate;
+        break;
+      }
+    }
+  }
+  return Status(code, std::move(message));
+}
+
+}  // namespace tbp::service

@@ -1,0 +1,93 @@
+// Filesystem spool: the crash-safe, socket-free transport between
+// tbp-client and tbpointd.
+//
+//   <spool>/requests/<id>.req    inbox — one NDJSON request line per file
+//   <spool>/claimed/<id>.req     in-flight — renamed here by the daemon
+//   <spool>/responses/<id>.json  outbox — sealed manifest (or error doc)
+//
+// The protocol state machine is a file's location:
+//
+//   submitted ── claim (rename) ──> claimed ── respond ──> responded
+//
+// Every transition is a single atomic filesystem operation.  Submission is
+// temp-write + rename, so the daemon never reads a torn request; claiming
+// is rename(requests/X, claimed/X), so exactly one of any number of racing
+// daemons wins a request (the losers see kNotFound and move on); responding
+// is an atomic write of the complete response before the claimed marker is
+// removed, so a daemon crash at any point leaves either a re-claimable
+// request, a claimed marker an operator can re-queue, or a finished
+// response — never a half-answered client.
+//
+// Request ids are client-chosen file stems ([-._A-Za-z0-9], no leading
+// dot).  Two requests with the same id are last-writer-wins, like any
+// mailbox; clients that want uniqueness encode a pid/sequence (tbp-client
+// does).
+//
+// Failures are reported as a sealed "tbp-error-v1" response document so a
+// waiting client always gets an answer (malformed JSON, unknown workload,
+// simulation failure) instead of a hang.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace tbp::service {
+
+inline constexpr std::string_view kErrorSchema = "tbp-error-v1";
+inline constexpr std::string_view kRequestSuffix = ".req";
+inline constexpr std::string_view kResponseSuffix = ".json";
+
+/// Creates the three spool subdirectories (idempotent).
+[[nodiscard]] Status init_spool(const std::filesystem::path& root);
+
+/// [-._A-Za-z0-9]+ and no leading dot — file stems that are safe on every
+/// filesystem and never escape the spool.
+[[nodiscard]] bool valid_request_id(std::string_view id) noexcept;
+
+[[nodiscard]] std::filesystem::path request_path(
+    const std::filesystem::path& root, std::string_view id);
+[[nodiscard]] std::filesystem::path claimed_path(
+    const std::filesystem::path& root, std::string_view id);
+[[nodiscard]] std::filesystem::path response_path(
+    const std::filesystem::path& root, std::string_view id);
+
+/// Atomically drops one request line into the inbox.
+[[nodiscard]] Status submit_request(const std::filesystem::path& root,
+                                    std::string_view id,
+                                    std::string_view request_line);
+
+/// Ids currently in the inbox, sorted (the daemon's claim order).
+[[nodiscard]] Result<std::vector<std::string>> pending_requests(
+    const std::filesystem::path& root);
+
+/// Atomically claims one request and returns its line.  kNotFound when a
+/// racing claimer won (not an error — skip to the next id).
+[[nodiscard]] Result<std::string> claim_request(
+    const std::filesystem::path& root, std::string_view id);
+
+/// Atomically writes the complete response document.
+[[nodiscard]] Status write_response(const std::filesystem::path& root,
+                                    std::string_view id,
+                                    std::string_view response_bytes);
+
+/// Removes the claimed marker — the final state transition.
+[[nodiscard]] Status finish_request(const std::filesystem::path& root,
+                                    std::string_view id);
+
+/// The response bytes once present; kNotFound while still pending.
+[[nodiscard]] Result<std::string> try_read_response(
+    const std::filesystem::path& root, std::string_view id);
+
+/// Renders a failure as the sealed error response document (pretty JSON +
+/// trailing newline, like every response).
+[[nodiscard]] std::string error_response(const Status& status);
+
+/// If `response_bytes` is an error document, the error it carries; kOk when
+/// the response is a (non-error) result document.
+[[nodiscard]] Status response_error(std::string_view response_bytes);
+
+}  // namespace tbp::service

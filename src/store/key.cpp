@@ -1,0 +1,93 @@
+#include "store/key.hpp"
+
+#include <array>
+
+namespace tbp::store {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] std::uint64_t mix_byte(std::uint64_t h, unsigned char c) noexcept {
+  h ^= c;
+  h *= kFnvPrime;
+  return h;
+}
+
+[[nodiscard]] std::uint64_t mix_bytes(std::uint64_t h,
+                                      std::string_view text) noexcept {
+  for (const char c : text) h = mix_byte(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+void append_hex_u64(std::string* out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kDigits[(v >> shift) & 0xF]);
+  }
+}
+
+}  // namespace
+
+KeyHasher& KeyHasher::field(std::string_view text) noexcept {
+  // Length prefix delimits the field; the 0xFF separator byte cannot occur
+  // in a decimal length, so field boundaries are unambiguous.
+  std::array<char, 20> digits{};
+  std::size_t n = 0;
+  std::size_t len = text.size();
+  do {
+    digits[n++] = static_cast<char>('0' + len % 10);
+    len /= 10;
+  } while (len != 0);
+  for (std::size_t i = n; i > 0; --i) {
+    const auto c = static_cast<unsigned char>(digits[i - 1]);
+    hi_ = mix_byte(hi_, c);
+    lo_ = mix_byte(lo_, c);
+  }
+  hi_ = mix_byte(hi_, 0xFF);
+  lo_ = mix_byte(lo_, 0xFF);
+  hi_ = mix_bytes(hi_, text);
+  lo_ = mix_bytes(lo_, text);
+  return *this;
+}
+
+KeyHasher& KeyHasher::field_u64(std::uint64_t value) {
+  return field(std::to_string(value));
+}
+
+std::string KeyHasher::hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex_u64(&out, hi_);
+  append_hex_u64(&out, lo_);
+  return out;
+}
+
+StoreKey make_key(std::string_view kind, std::string_view codec_version,
+                  std::string_view canonical, std::string_view label) {
+  KeyHasher hasher;
+  hasher.field(kStoreEpoch).field(kind).field(codec_version).field(canonical);
+  return StoreKey{.id = hasher.hex(), .label = std::string(label)};
+}
+
+bool valid_key_id(std::string_view id) noexcept {
+  if (id.size() != 32) return false;
+  for (const char c : id) {
+    const bool hex_digit =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex_digit) return false;
+  }
+  return true;
+}
+
+bool valid_label(std::string_view label) noexcept {
+  if (label.empty()) return false;
+  for (const char c : label) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '-' || c == '_' ||
+                    c == '.' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace tbp::store

@@ -1,0 +1,71 @@
+#include "store/migrate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/atomic_file.hpp"
+
+namespace tbp::store {
+
+Result<ImportReport> import_legacy_flat_files(
+    ContentStore& store, const std::filesystem::path& legacy_dir,
+    const LegacyImportSpec& spec) {
+  if (!spec.key_for_stem || !spec.recode) {
+    return Status(StatusCode::kInvalidArgument,
+                  "legacy import spec missing codec callbacks");
+  }
+
+  ImportReport report;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(legacy_dir, ec) || ec) {
+    return report;  // nothing to migrate
+  }
+
+  // Sorted scan: the import order (and therefore any quarantine order and
+  // the store's tick assignment) is deterministic for fixed contents.
+  std::vector<std::filesystem::path> files;
+  for (const auto& item : std::filesystem::directory_iterator(legacy_dir, ec)) {
+    if (ec) break;
+    if (!item.is_regular_file()) continue;
+    const std::string name = item.path().filename().string();
+    if (name.size() <= spec.suffix.size() ||
+        name.substr(name.size() - spec.suffix.size()) != spec.suffix) {
+      continue;
+    }
+    files.push_back(item.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const std::filesystem::path& path : files) {
+    const std::string name = path.filename().string();
+    const std::string stem = name.substr(0, name.size() - spec.suffix.size());
+    const StoreKey key = spec.key_for_stem(stem);
+    if (store.contains(key)) {
+      report.skipped_existing += 1;
+      continue;
+    }
+    const auto quarantine = [&] {
+      if (spec.remove_invalid) {
+        std::error_code ignore;
+        std::filesystem::remove(path, ignore);
+      }
+      report.quarantined += 1;
+    };
+    auto text = io::read_file_limited(path);
+    if (!text.has_value()) {
+      quarantine();
+      continue;
+    }
+    auto payload = spec.recode(stem, *text);
+    if (!payload.has_value()) {
+      quarantine();
+      continue;
+    }
+    Status put = store.put(key, *payload);
+    if (!put.ok()) return put;  // store-level failure: abort, report it
+    report.imported += 1;
+  }
+  return report;
+}
+
+}  // namespace tbp::store

@@ -1,0 +1,60 @@
+// One-shot importer for legacy flat-file caches.
+//
+// Before the content-addressed store, cached results lived as one flat file
+// per key directly in the cache directory (`<dir>/<stem>.txt`).  The
+// importer walks those files on the store's first open and re-keys each
+// valid one into the sharded layout, so existing warm caches (including the
+// rows committed under tbpoint_cache/) keep their value.  The caller owns
+// the legacy codec: it maps a file stem to a StoreKey and validates /
+// re-encodes the file bytes into the payload to store.
+//
+// Valid legacy files are left in place (they may be committed to git and
+// other checkouts may still read them); files that fail the codec are
+// quarantined — deleted, matching the old cache's corrupt-row behavior —
+// unless the spec says otherwise.  Importing is idempotent: stems whose key
+// already exists in the store are skipped.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "store/store.hpp"
+#include "support/status.hpp"
+
+namespace tbp::store {
+
+struct LegacyImportSpec {
+  /// Files to consider: direct children of the legacy dir whose name ends
+  /// with this suffix (the stem is the name minus the suffix).
+  std::string suffix = ".txt";
+  /// Derives the store key for a legacy stem.  Must match the key the
+  /// rewritten save path derives for the same logical entry, or migrated
+  /// rows are invisible to lookups.
+  std::function<StoreKey(std::string_view stem)> key_for_stem;
+  /// Validates and re-encodes one legacy file's bytes into the payload to
+  /// store.  A non-OK result quarantines the file.
+  std::function<Result<std::string>(std::string_view stem,
+                                    const std::string& text)>
+      recode;
+  /// Delete files that fail `recode` (the legacy corrupt-row behavior).
+  bool remove_invalid = true;
+};
+
+struct ImportReport {
+  std::size_t imported = 0;          ///< re-keyed into the store
+  std::size_t skipped_existing = 0;  ///< key already present
+  std::size_t quarantined = 0;       ///< failed the codec
+};
+
+/// Imports every matching legacy file under `legacy_dir` (non-recursive,
+/// processed in sorted name order).  A missing directory is a successful
+/// empty import.  I/O failures on individual files quarantine that file;
+/// only store-level failures abort the import.
+[[nodiscard]] Result<ImportReport> import_legacy_flat_files(
+    ContentStore& store, const std::filesystem::path& legacy_dir,
+    const LegacyImportSpec& spec);
+
+}  // namespace tbp::store

@@ -63,6 +63,13 @@ TEST(FaultsTest, SuiteIsDeterministic) {
   EXPECT_TRUE(any_differ);
 }
 
+std::string read_whole_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 // ---- loaders under injected corruption ----
 
 /// Every corrupted variant must fail to load with a structured error.  A
@@ -150,39 +157,42 @@ TEST(FaultsTest, RegionLoaderRejectsEveryCorruption) {
 }
 
 TEST(FaultsTest, CacheRowRejectsEveryCorruption) {
+  // Rows live as sealed store entries now, so the corruption targets are
+  // the entry files under objects/.  The donor is a complete valid entry
+  // for a *different* key; unlike the plain artifact loaders, the cache
+  // must reject even that (the entry's id header pins it to its path), so
+  // only the exact pristine bytes are skipped.
   const std::string dir = ::testing::TempDir() + "/tbp_faults_cache";
   std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
 
   ExperimentRow row;
   row.workload = "bfs";
   row.n_launches = 14;
   row.full_ipc = 2.25;
-  ASSERT_TRUE(save_cached_row(dir, "pristine", row).ok());
-  std::string pristine;
-  {
-    std::ifstream in(dir + "/pristine.txt");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    pristine = buffer.str();
-  }
+  ASSERT_TRUE(save_cached_row(dir, "victim", row).ok());
+  const std::string pristine = read_whole_file(cached_row_path(dir, "victim"));
   ExperimentRow donor_row;
   donor_row.workload = "sssp";
   donor_row.n_launches = 99;
   donor_row.full_ipc = 1.125;
   ASSERT_TRUE(save_cached_row(dir, "donor", donor_row).ok());
-  std::string donor;
-  {
-    std::ifstream in(dir + "/donor.txt");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    donor = buffer.str();
-  }
+  const std::string donor = read_whole_file(cached_row_path(dir, "donor"));
 
-  expect_all_variants_rejected(pristine, donor, [&](const std::string& text) {
-    std::ofstream(dir + "/victim.txt", std::ios::trunc) << text;
-    return load_cached_row(dir, "victim").status();
-  });
+  const auto suite = corruption_suite(pristine, donor);
+  ASSERT_FALSE(suite.empty());
+  for (const Corruption& corruption : suite) {
+    if (corruption.payload == pristine) continue;
+    // Re-arm: a rejected variant quarantines the entry (file and index
+    // row), so each round starts from a freshly saved row.
+    ASSERT_TRUE(save_cached_row(dir, "victim", row).ok());
+    std::ofstream(cached_row_path(dir, "victim"),
+                  std::ios::binary | std::ios::trunc)
+        << corruption.payload;
+    const Status status = load_cached_row(dir, "victim").status();
+    EXPECT_FALSE(status.ok()) << "cache served corruption " << corruption.name;
+    EXPECT_NE(status.code(), StatusCode::kNotFound)
+        << corruption.name << " misreported as a miss";
+  }
 }
 
 // ---- bounded allocation under lying size fields ----

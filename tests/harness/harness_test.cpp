@@ -154,11 +154,17 @@ TEST(CacheTest, LegacyV2RowWithoutChecksumStillLoads) {
 TEST(CacheTest, CorruptRowIsQuarantined) {
   const std::string dir = ::testing::TempDir() + "/tbp_cache_quarantine";
   std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  const std::string path = dir + "/bad_key.txt";
+
+  ExperimentRow row;
+  row.workload = "bfs";
+  row.n_launches = 14;
+  row.full_ipc = 2.25;
+  ASSERT_TRUE(save_cached_row(dir, "bad_key", row).ok());
+  const std::filesystem::path path = cached_row_path(dir, "bad_key");
+  ASSERT_TRUE(std::filesystem::exists(path));
   {
-    std::ofstream out(path);
-    out << "tbpoint-row-v3\nnot a row at all\n";
+    std::ofstream out(path, std::ios::trunc);
+    out << "tbp-store-entry-v1\nnot an entry at all\n";
   }
   // First lookup: structured corruption error, and the entry is deleted.
   const auto first = load_cached_row(dir, "bad_key");
@@ -170,6 +176,24 @@ TEST(CacheTest, CorruptRowIsQuarantined) {
   const auto second = load_cached_row(dir, "bad_key");
   ASSERT_FALSE(second.has_value());
   EXPECT_EQ(second.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CacheTest, CorruptLegacyFlatRowIsQuarantinedAtMigration) {
+  // Pre-store layout: an unparseable flat row is quarantined (deleted) when
+  // the directory's store first opens, so the lookup is a clean miss, never
+  // a persistent failure.
+  const std::string dir = ::testing::TempDir() + "/tbp_cache_legacy_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/bad_key.txt";
+  {
+    std::ofstream out(path);
+    out << "tbpoint-row-v3\nnot a row at all\n";
+  }
+  const auto loaded = load_cached_row(dir, "bad_key");
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST(CacheTest, TornWriteRecoversByRecomputation) {
@@ -189,7 +213,7 @@ TEST(CacheTest, TornWriteRecoversByRecomputation) {
 
   // Tear the entry: keep the first half of the bytes only.
   const std::string key = experiment_key("stream", scale, config, options);
-  const std::string path = dir + "/" + key + ".txt";
+  const std::filesystem::path path = cached_row_path(dir, key);
   ASSERT_TRUE(std::filesystem::exists(path));
   std::string text;
   {

@@ -186,6 +186,10 @@ TEST(OncePerKeyTest, ConcurrentRequestsCostOneComputation) {
   EXPECT_EQ(run_comparison_invocations(), before + 1);
   EXPECT_TRUE(reloaded.from_cache);
   expect_rows_bit_identical(rows[0], reloaded);
+
+  // The once-per-key guard must drain: a completed key left in the map
+  // would pin every row of a sweep in memory for the process lifetime.
+  EXPECT_EQ(cache_in_flight_for_test(), 0u);
 }
 
 }  // namespace

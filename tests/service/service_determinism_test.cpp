@@ -1,0 +1,81 @@
+// Service determinism: the daemon's responses are byte-identical no matter
+// how its work is parallelized — across request groups (--jobs) and inside
+// each launch simulation (--sim-jobs).  Two daemons with different worker
+// budgets drain the same batch into separate spools; every response file
+// must match byte for byte.  `parallel` ctest label (see tests/CMakeLists).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/daemon.hpp"
+#include "service/request.hpp"
+#include "service/spool.hpp"
+
+namespace tbp::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(ServiceDeterminismTest, ResponsesAreJobsIndependent) {
+  // Two distinct cheap specs plus a duplicate, so the drain exercises both
+  // the cross-group parallel_for and the dedup path.
+  RequestSpec a;
+  a.workload = "stream";
+  a.scale.divisor = 48;
+  a.sms = 4;
+  RequestSpec b = a;
+  b.scale.divisor = 96;
+  const std::vector<std::pair<std::string, std::string>> batch = {
+      {"req-a1", spec_canonical_line(a)},
+      {"req-a2", spec_canonical_line(a)},
+      {"req-b1", spec_canonical_line(b)},
+  };
+
+  const auto drain = [&](const std::string& spool_name, std::size_t jobs,
+                         std::uint32_t sim_jobs) {
+    const fs::path spool = fresh_dir(spool_name);
+    DaemonOptions options;
+    options.spool_dir = spool;
+    options.jobs = jobs;
+    options.sim_jobs = sim_jobs;
+    Daemon daemon(options);
+    EXPECT_TRUE(daemon.open().ok());
+    for (const auto& [id, line] : batch) {
+      EXPECT_TRUE(submit_request(spool, id, line).ok());
+    }
+    const auto answered = daemon.drain_once();
+    EXPECT_TRUE(answered.has_value());
+    std::vector<std::string> responses;
+    for (const auto& [id, line] : batch) {
+      const auto bytes = try_read_response(spool, id);
+      EXPECT_TRUE(bytes.has_value()) << id;
+      responses.push_back(bytes.has_value() ? *bytes : std::string());
+    }
+    return responses;
+  };
+
+  const std::vector<std::string> serial = drain("tbp_sdet_serial", 1, 1);
+  const std::vector<std::string> threaded = drain("tbp_sdet_threaded", 4, 2);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(response_error(serial[i]).ok()) << batch[i].first;
+    EXPECT_EQ(serial[i], threaded[i])
+        << "response for " << batch[i].first
+        << " differs between jobs=1/sim_jobs=1 and jobs=4/sim_jobs=2";
+  }
+  // The duplicate collapsed to its twin's bytes in both drains.
+  EXPECT_EQ(serial[0], serial[1]);
+}
+
+}  // namespace
+}  // namespace tbp::service

@@ -546,6 +546,8 @@ LintConfig default_config() {
       "src/profile/profile_io.cpp",
       "src/core/region_io.cpp",
       "src/core/region_sampler.cpp",
+      "src/store/",    // index journal + eviction order reach disk bytes
+      "src/service/",  // batching order reaches response/store writes
       "tools/report/",  // manifest rendering + compare gate output
   };
   return config;

@@ -1,0 +1,151 @@
+// tbpointd — the batching sampling service daemon.
+//
+//   tbpointd --spool DIR [--store DIR] [--store-max-bytes N]
+//            [--jobs N] [--sim-jobs N] [--poll-ms N]
+//            [--max-requests N] [--once] [--metrics PATH]
+//
+// Watches `<spool>/requests/` for tbp-request-v1 lines dropped by
+// tbp-client, answers each with a sealed tbp-manifest-v1 response in
+// `<spool>/responses/` (byte-identical to `tbpoint_cli compare ...
+// --manifest` for the same request), and keeps every computed response in
+// a content-addressed store so repeated and duplicate requests are served
+// without re-simulating.  See DESIGN.md "Result store & tbpointd".
+//
+//   --once            drain the current inbox once and exit
+//   --max-requests N  exit after answering N requests (smoke tests)
+//   --metrics PATH    write service.* / store.* counters as JSON on exit
+//
+// SIGINT/SIGTERM finish the in-flight drain pass, then exit cleanly (every
+// claimed request is answered; nothing is left half-done).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "obs/export.hpp"
+#include "service/daemon.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace tbp;
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: tbpointd --spool DIR [--store DIR] "
+               "[--store-max-bytes N] [--jobs N] [--sim-jobs N] "
+               "[--poll-ms N] [--max-requests N] [--once] [--metrics PATH]\n");
+  std::exit(2);
+}
+
+std::uint64_t flag_u64_or_die(int argc, char** argv, const std::string& name,
+                              std::uint64_t fallback) {
+  const std::string v = harness::flag_value(argc, argv, name, "");
+  if (v.empty()) return fallback;
+  const Result<std::uint64_t> parsed = harness::parse_u64(v);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "tbpointd: invalid value for %s: %s\n", name.c_str(),
+                 parsed.status().message().c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spool = harness::flag_value(argc, argv, "--spool", "");
+  if (spool.empty()) usage();
+
+  service::DaemonOptions options;
+  options.spool_dir = spool;
+  options.store_dir = harness::flag_value(argc, argv, "--store", "");
+  options.store_max_bytes = flag_u64_or_die(argc, argv, "--store-max-bytes",
+                                            options.store_max_bytes);
+  options.jobs = static_cast<std::size_t>(flag_u64_or_die(
+      argc, argv, "--jobs", static_cast<std::uint64_t>(par::default_jobs())));
+  options.sim_jobs = static_cast<std::uint32_t>(
+      flag_u64_or_die(argc, argv, "--sim-jobs", 1));
+  options.poll_ms = static_cast<std::uint32_t>(
+      flag_u64_or_die(argc, argv, "--poll-ms", options.poll_ms));
+  options.max_requests = flag_u64_or_die(argc, argv, "--max-requests", 0);
+  if (options.jobs == 0 || options.sim_jobs == 0 || options.poll_ms == 0) {
+    std::fprintf(stderr,
+                 "tbpointd: --jobs, --sim-jobs and --poll-ms must be >= 1\n");
+    return 2;
+  }
+  par::set_global_jobs(options.jobs);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  service::Daemon daemon(options);
+  Status st = daemon.open();
+  if (!st.ok()) {
+    std::fprintf(stderr, "tbpointd: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("tbpointd: serving spool %s (store %s, jobs %zu, sim-jobs %u)\n",
+              options.spool_dir.string().c_str(),
+              daemon.response_store().dir().string().c_str(), options.jobs,
+              options.sim_jobs);
+  std::fflush(stdout);
+
+  if (harness::has_flag(argc, argv, "--once")) {
+    Result<std::size_t> drained = daemon.drain_once();
+    if (!drained.has_value()) {
+      std::fprintf(stderr, "tbpointd: %s\n",
+                   drained.status().to_string().c_str());
+      return 1;
+    }
+  } else {
+    st = daemon.serve(g_stop);
+    if (!st.ok()) {
+      std::fprintf(stderr, "tbpointd: %s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  const service::ServiceStats stats = daemon.stats();
+  const store::StoreStats store_stats = daemon.response_store().stats();
+  std::printf("tbpointd: %llu claimed, %llu deduped, %llu simulated, "
+              "%llu answered (store: %llu hits, %llu misses, %llu evictions)\n",
+              static_cast<unsigned long long>(stats.claimed),
+              static_cast<unsigned long long>(stats.deduped),
+              static_cast<unsigned long long>(stats.simulations),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(store_stats.hits),
+              static_cast<unsigned long long>(store_stats.misses),
+              static_cast<unsigned long long>(store_stats.evictions));
+
+  if (const std::string metrics_path =
+          harness::flag_value(argc, argv, "--metrics", "");
+      !metrics_path.empty()) {
+    if constexpr (obs::kEnabled) {
+      obs::MetricsShard shard;
+      daemon.flush_metrics(&shard);
+      obs::MetricsSnapshot snapshot;
+      snapshot.absorb(shard);
+      const Status wrote = obs::write_metrics_file(snapshot, metrics_path);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "tbpointd: cannot write %s: %s\n",
+                     metrics_path.c_str(), wrote.to_string().c_str());
+        return 1;
+      }
+      std::printf("tbpointd: wrote metrics %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "tbpointd: --metrics ignored: observability compiled out "
+                   "(TBP_OBS=OFF)\n");
+    }
+  }
+  return 0;
+}

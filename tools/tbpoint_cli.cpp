@@ -75,6 +75,7 @@
 #include "markov/monte_carlo.hpp"
 #include "profile/profile_io.hpp"
 #include "profile/profiler.hpp"
+#include "service/request.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
 #include "support/parallel.hpp"
@@ -443,10 +444,20 @@ int cmd_compare(int argc, char** argv) {
   harness::ComparisonOptions options;
   options.jobs = jobs_from_flags(argc, argv);
   options.sim_jobs = sim_jobs_from_flags(argc, argv);
+  // The compare flags are exactly a tbpointd request spec; building one and
+  // deriving the config/manifest from it keeps this command byte-identical
+  // to the service's responses by construction (the service smoke test cmps
+  // the two outputs).
+  service::RequestSpec spec;
+  spec.workload = argv[2];
+  spec.scale = scale_from_flags(argc, argv);
+  spec.sms = flag_u32(argc, argv, "--sms", 14);
+  spec.warps = flag_u32(argc, argv, "--warps", 48);
+  spec.gto = harness::has_flag(argc, argv, "--gto");
   const workloads::Workload workload =
-      workloads::make_workload(argv[2], scale_from_flags(argc, argv));
+      workloads::make_workload(spec.workload, spec.scale);
   if (!validate_if_requested(argc, argv, workload)) return 1;
-  const sim::GpuConfig config = config_from_flags(argc, argv);
+  const sim::GpuConfig config = service::spec_gpu_config(spec);
   const CliObservation observation = CliObservation::from_flags(argc, argv);
   options.observe = observation.get();
   const harness::ExperimentRow row =
@@ -478,7 +489,7 @@ int cmd_compare(int argc, char** argv) {
                 row.attribution.reconstruction_error_pct());
   }
   bool ok = write_cli_manifest(argc, argv, "compare",
-                               cli_config_value(argc, argv, workload, config),
+                               service::spec_config_value(spec),
                                std::span(&row, 1), observation.get());
   ok = observation.write() && ok;
   return ok ? 0 : 1;
