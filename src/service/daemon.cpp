@@ -132,11 +132,13 @@ Result<std::size_t> Daemon::drain_once() {
       computed[0] = spec_manifest_bytes(
           group.spec, run_spec(group.spec, jobs, options_.sim_jobs));
     } else {
-      par::parallel_for(missing.size(), jobs, [&](std::size_t i) {
+      // tbp-lint: shard(worker)
+      auto simulate_group = [&](std::size_t i) {
         const Group& group = *missing[i];
         computed[i] = spec_manifest_bytes(
             group.spec, run_spec(group.spec, /*jobs=*/1, options_.sim_jobs));
-      });
+      };
+      par::parallel_for(missing.size(), jobs, simulate_group);
     }
     stats_.simulations += missing.size();
     for (std::size_t i = 0; i < missing.size(); ++i) {

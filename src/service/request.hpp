@@ -73,6 +73,9 @@ struct RequestSpec {
 
 /// Runs the spec's comparison (the simulation).  jobs/sim_jobs bound the
 /// worker crew; the row is bit-identical for every value of either.
+/// Constructs and owns a private engine per call, so worker-phase callers
+/// may invoke it without reaching any cross-shard state.
+// tbp-lint: shard(isolate)
 [[nodiscard]] harness::ExperimentRow run_spec(const RequestSpec& spec,
                                               std::size_t jobs,
                                               std::uint32_t sim_jobs);

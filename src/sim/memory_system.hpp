@@ -74,23 +74,24 @@ class MemorySystem {
   /// Issues one line-sized load.  Returns true on an L1 hit (the SM applies
   /// its fixed hit latency); on a miss the `token` is woken through
   /// `tick`'s completion list once the fill returns.
+  // tbp-lint: shard(worker)
   [[nodiscard]] bool load(std::uint32_t sm_id, std::uint64_t line, WarpToken token,
                           std::uint64_t cycle);
 
   /// Issues one line-sized write-through store (fire and forget).
-  void store(std::uint32_t sm_id, std::uint64_t line, std::uint64_t cycle);
+  void store(std::uint32_t sm_id, std::uint64_t line, std::uint64_t cycle);  // tbp-lint: shard(worker)
 
   /// Advances one cycle; appends warp wakeups to `completions`.
-  void tick(std::uint64_t cycle, std::vector<MemCompletion>& completions);
+  void tick(std::uint64_t cycle, std::vector<MemCompletion>& completions);  // tbp-lint: shard(commit)
 
   /// True while any request is in flight anywhere in the hierarchy.
-  [[nodiscard]] bool busy() const noexcept;
+  [[nodiscard]] bool busy() const noexcept;  // tbp-lint: shard(commit)
 
-  [[nodiscard]] MemoryStats stats() const;
+  [[nodiscard]] MemoryStats stats() const;  // tbp-lint: shard(commit)
 
   /// Clears caches, MSHRs and queues (between independently simulated
   /// launches).
-  void reset();
+  void reset();  // tbp-lint: shard(commit)
 
   /// Attaches the DRAM FR-FCFS queue-depth histogram (see DramChannel).
   void set_queue_depth_histogram(obs::Histogram* hist) noexcept {
@@ -106,17 +107,18 @@ class MemorySystem {
 
   /// Advances the shared half (L2 input queue, L2, L2 MSHRs, DRAM) one
   /// cycle.  Coordinator thread only.
-  void shared_tick(std::uint64_t cycle);
+  void shared_tick(std::uint64_t cycle);  // tbp-lint: shard(commit)
 
   /// Pops every fill with ready < `limit` into per-SM inboxes, preserving
   /// the (ready, seq) delivery order within each SM.  `inboxes` must have
   /// one slot per SM; routed fills are appended.  Coordinator thread only.
-  void route_fills(std::uint64_t limit, std::vector<std::vector<TimedFill>>& inboxes);
+  void route_fills(std::uint64_t limit, std::vector<std::vector<TimedFill>>& inboxes);  // tbp-lint: shard(commit)
 
   /// Advances SM `sm_id`'s port one cycle: overflow retry, then delivery of
   /// the pre-routed fills whose ready == cycle (`inbox` from route_fills,
   /// `cursor` advanced in place), then hit-after-wait wakeups.  Touches
   /// only per-SM state, so distinct SMs may tick concurrently.
+  // tbp-lint: shard(worker)
   void sm_local_tick(std::uint32_t sm_id, std::uint64_t cycle,
                      const std::vector<TimedFill>& inbox, std::size_t& cursor,
                      std::vector<MemCompletion>& completions);
@@ -124,7 +126,7 @@ class MemorySystem {
   /// Appends the outboxed requests of cycles [first, limit) to the shared
   /// L2 queue in exactly the serial push order — (cycle, issue-before-
   /// retry, SM id) — then clears the outboxes.  Coordinator thread only.
-  void drain_outboxes(std::uint64_t first, std::uint64_t limit);
+  void drain_outboxes(std::uint64_t first, std::uint64_t limit);  // tbp-lint: shard(commit)
 
  private:
   struct L1Mshr {
@@ -178,31 +180,37 @@ class MemorySystem {
     }
   };
 
+  // tbp-lint: shard(route)
   void emit_request(SmPort& port, std::uint64_t line, std::uint32_t sm_id,
                     bool is_store, std::uint8_t phase, std::uint64_t cycle);
-  void process_l2(std::uint64_t cycle);
-  void process_dram_replies(std::uint64_t cycle);
-  void deliver_l1_fills(std::uint64_t cycle, std::vector<MemCompletion>& completions);
+  void process_l2(std::uint64_t cycle);  // tbp-lint: shard(commit)
+  void process_dram_replies(std::uint64_t cycle);  // tbp-lint: shard(commit)
+  void deliver_l1_fills(std::uint64_t cycle, std::vector<MemCompletion>& completions);  // tbp-lint: shard(commit)
+  // tbp-lint: shard(worker)
   void apply_fill(SmPort& port, std::uint32_t sm_id, std::uint64_t line,
                   std::vector<MemCompletion>& completions);
-  void retry_overflow(SmPort& port, std::uint64_t cycle);
+  void retry_overflow(SmPort& port, std::uint64_t cycle);  // tbp-lint: shard(worker)
+  // tbp-lint: shard(worker)
   void drain_hit_waits(SmPort& port, std::uint32_t sm_id, std::uint64_t cycle,
                        std::vector<MemCompletion>& completions);
 
   const GpuConfig config_;
   std::vector<SmPort> ports_;  ///< one per SM
-  SetAssocCache l2_;
-  DramSystem dram_;
+  SetAssocCache l2_;  // tbp-lint: shard(shared)
+  DramSystem dram_;   // tbp-lint: shard(shared)
   bool shard_mode_ = false;
 
-  std::deque<TimedRequest> l2_queue_;  ///< arrival-ordered (uniform latency)
+  // tbp-lint: shard(shared) -- arrival-ordered (uniform latency)
+  std::deque<TimedRequest> l2_queue_;
+  // tbp-lint: shard(shared)
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> l2_mshr_;
 
+  // tbp-lint: shard(shared)
   std::priority_queue<TimedFill, std::vector<TimedFill>, LaterFill> l1_fills_;
-  std::vector<DramReply> dram_replies_scratch_;
-  std::uint64_t fill_seq_ = 0;
-  std::uint64_t l2_mshr_merges_ = 0;
-  std::uint64_t l2_mshr_overflows_ = 0;
+  std::vector<DramReply> dram_replies_scratch_;  // tbp-lint: shard(shared)
+  std::uint64_t fill_seq_ = 0;           // tbp-lint: shard(shared)
+  std::uint64_t l2_mshr_merges_ = 0;     // tbp-lint: shard(shared)
+  std::uint64_t l2_mshr_overflows_ = 0;  // tbp-lint: shard(shared)
 };
 
 }  // namespace tbp::sim

@@ -63,12 +63,14 @@ struct GlobalMeter {
   /// units are disabled).
   std::vector<std::uint32_t> fixed_unit_bbv;
 
+  // tbp-lint: shard(commit)
   void record(const trace::WarpInst& inst) noexcept {
     record_raw(inst.bb_id, inst.active_threads);
   }
 
   /// The same update from a logged SmIssueEvent (the sharded engine's
   /// commit replay, which no longer has the WarpInst in hand).
+  // tbp-lint: shard(commit)
   void record_raw(std::uint16_t bb_id, std::uint8_t active_threads) noexcept {
     ++warp_insts;
     thread_insts += active_threads;
@@ -195,6 +197,12 @@ class SmCore {
   void issue_impl(std::uint64_t cycle);
   void account_cycle(bool issued) noexcept;
 
+  /// Issue/retire recording shims: in shard mode they append to the per-SM
+  /// logs, otherwise they drive the shared meter / drain list directly.
+  /// Every cross-SM side effect of the issue path funnels through them.
+  void record_issue(const trace::WarpInst& inst, std::uint64_t cycle);  // tbp-lint: shard(route)
+  void record_retire(std::uint32_t block_id, std::uint64_t cycle);  // tbp-lint: shard(route)
+
   void execute(std::uint32_t slot_idx, std::uint32_t warp_idx,
                const trace::WarpInst& inst, std::uint64_t cycle);
   void release_barrier_if_ready(BlockSlot& slot, std::uint32_t slot_idx,
@@ -204,7 +212,7 @@ class SmCore {
   std::uint32_t sm_id_;
   const GpuConfig* config_;
   MemorySystem* memory_;
-  GlobalMeter* meter_;
+  GlobalMeter* meter_;  // tbp-lint: shard(shared)
 
   std::uint32_t warps_per_block_ = 0;
   std::uint32_t free_slots_ = 0;

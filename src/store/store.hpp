@@ -87,31 +87,31 @@ class ContentStore {
   /// Loads the index (rebuilding it from an object scan when missing or
   /// corrupt) and creates the directory layout when allowed.  Must be
   /// called, successfully, before any other member.
-  [[nodiscard]] Status open();
+  [[nodiscard]] Status open();  // tbp-lint: shard(commit)
 
   /// Payload bytes for `key`.  kNotFound on a plain miss; kCorrupt when the
   /// entry failed validation (it is quarantined — deleted and dropped from
   /// the index — so the next get is a clean miss).  A hit refreshes the
   /// entry's LRU tick.
-  [[nodiscard]] Result<std::string> get(const StoreKey& key);
+  [[nodiscard]] Result<std::string> get(const StoreKey& key);  // tbp-lint: shard(commit)
 
   /// Atomically writes the sealed entry, updates the index journal and
   /// enforces the byte budget by evicting LRU entries.  Re-putting an
   /// existing key overwrites its payload.
-  [[nodiscard]] Status put(const StoreKey& key, std::string_view payload);
+  [[nodiscard]] Status put(const StoreKey& key, std::string_view payload);  // tbp-lint: shard(commit)
 
   /// Drops one entry (file + index row).  kNotFound when absent.
-  [[nodiscard]] Status remove(const StoreKey& key);
+  [[nodiscard]] Status remove(const StoreKey& key);  // tbp-lint: shard(commit)
 
   /// Index-only membership probe (no payload I/O, no LRU update).
   [[nodiscard]] bool contains(const StoreKey& key) const;
 
   /// Persists the in-memory index (get-side LRU ticks are journaled lazily;
   /// puts and evictions persist eagerly).
-  [[nodiscard]] Status flush_index();
+  [[nodiscard]] Status flush_index();  // tbp-lint: shard(commit)
 
   /// Forces a rebuild from the object scan (see the header comment).
-  [[nodiscard]] Status rebuild_index();
+  [[nodiscard]] Status rebuild_index();  // tbp-lint: shard(commit)
 
   [[nodiscard]] StoreStats stats() const;
   [[nodiscard]] std::size_t entry_count() const;
@@ -148,12 +148,12 @@ class ContentStore {
   const StoreOptions options_;
 
   mutable std::mutex mutex_;
-  bool opened_ = false;
-  std::map<std::string, IndexEntry> index_;  ///< key id -> entry
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t tick_ = 0;
-  StoreStats stats_;
-  std::vector<std::uint64_t> latency_us_;  ///< raw samples when enabled
+  bool opened_ = false;                      // TBP_GUARDED_BY(mutex_)
+  std::map<std::string, IndexEntry> index_;  // TBP_GUARDED_BY(mutex_) key id -> entry
+  std::uint64_t total_bytes_ = 0;            // TBP_GUARDED_BY(mutex_)
+  std::uint64_t tick_ = 0;                   // TBP_GUARDED_BY(mutex_)
+  StoreStats stats_;                         // TBP_GUARDED_BY(mutex_)
+  std::vector<std::uint64_t> latency_us_;    // TBP_GUARDED_BY(mutex_) raw samples when enabled
 };
 
 /// Entry/index file name constants, shared with tests.

@@ -84,8 +84,8 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::queue<std::function<void()>> queue_;  // TBP_GUARDED_BY(mutex_)
+  bool stop_ = false;                        // TBP_GUARDED_BY(mutex_)
   std::vector<std::thread> threads_;
 };
 
@@ -170,7 +170,7 @@ struct ForBatch {
   std::atomic<bool> failed{false};
   std::mutex mutex;              // guards error, pairs with cv
   std::condition_variable cv;
-  std::exception_ptr error;
+  std::exception_ptr error;      // TBP_GUARDED_BY(mutex)
 
   /// Claims and runs iterations until none remain.  Safe to call from any
   /// number of threads; each index is executed exactly once.

@@ -1,0 +1,26 @@
+// Fixture: every guarded access sits under its mutex or inside a *_locked
+// helper reached from a locked scope — clean.
+#include <mutex>
+
+class Counter {
+ public:
+  void bump();
+  long snapshot() const;
+
+ private:
+  void bump_locked();
+  mutable std::mutex mutex_;
+  long value_ = 0;  // TBP_GUARDED_BY(mutex_)
+};
+
+void Counter::bump() {
+  std::scoped_lock lock(mutex_);
+  bump_locked();
+}
+
+void Counter::bump_locked() { value_ += 1; }
+
+long Counter::snapshot() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return value_;
+}

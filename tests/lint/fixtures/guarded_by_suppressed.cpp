@@ -1,0 +1,21 @@
+// Fixture: the same unlocked access, silenced by a justified allow.
+#include <mutex>
+
+class Counter {
+ public:
+  void bump();
+  void racy_read();
+
+ private:
+  std::mutex mutex_;
+  long value_ = 0;  // TBP_GUARDED_BY(mutex_)
+};
+
+void Counter::bump() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ += 1;
+}
+
+void Counter::racy_read() {
+  value_ += 2;  // tbp-lint: allow(guarded-by) -- fixture: init path, no readers yet
+}

@@ -1,0 +1,28 @@
+// Fixture: a TBP_GUARDED_BY field accessed without its mutex, and a
+// lock-assuming *_locked helper called outside any lock scope.
+#include <mutex>
+
+class Counter {
+ public:
+  void bump();
+  void racy_read();
+  void flush();
+
+ private:
+  void flush_locked();
+  std::mutex mutex_;
+  long value_ = 0;  // TBP_GUARDED_BY(mutex_)
+};
+
+void Counter::bump() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ += 1;
+}
+
+void Counter::racy_read() {
+  value_ += 2;
+}
+
+void Counter::flush() { flush_locked(); }
+
+void Counter::flush_locked() { value_ += 3; }

@@ -1,0 +1,5 @@
+// Fixture: linted as src/store/... — a higher rank including a strictly
+// lower one is the legal direction.
+#include "support/status.hpp"
+
+int fixture_layering_clean() { return 0; }

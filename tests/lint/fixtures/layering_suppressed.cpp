@@ -1,0 +1,5 @@
+// Fixture: the same bad edge, silenced with a justification.
+// tbp-lint: allow(layering) -- fixture: transitional edge during a migration
+#include "store/store.hpp"
+
+int fixture_layering_suppressed() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture: linted as src/support/... — support (rank 0) must not include
+// store (rank 5); the in-module include stays legal.
+#include "store/store.hpp"
+#include "support/status.hpp"
+
+int fixture_layering() { return 0; }

@@ -1,0 +1,12 @@
+// Fixture: digit separators must lex as one number token — the prime must
+// not open a character literal that swallows the rest of the line.  The
+// canary violation after them must still fire at its exact line.
+#include <cstdint>
+
+constexpr std::uint64_t kBudget = 1'000'000;
+constexpr std::uint64_t kMask = 0xFF'FF'00'00;
+
+int fixture_entry() {
+  int bad = rand();
+  return bad + static_cast<int>(kBudget % 7 + kMask % 3);
+}

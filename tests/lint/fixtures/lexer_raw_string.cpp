@@ -1,0 +1,14 @@
+// Fixture: raw-string contents are data — banned identifiers inside must
+// not fire, newlines inside still count, and the real violation after the
+// literal fires at its exact line.
+#include <string>
+
+const char* fixture_doc() {
+  static const std::string text = R"doc(
+    rand() and getenv("HOME") here are documentation, not code;
+    an unmatched " quote and a stray ) are fine too.
+  )doc";
+  return text.c_str();
+}
+
+int fixture_bad() { return rand(); }

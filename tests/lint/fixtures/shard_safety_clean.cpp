@@ -1,0 +1,29 @@
+// Fixture: a worker that stays on per-shard state and reaches the shared
+// side only through an honest route shim is clean.
+#include <cstdint>
+
+class Engine {
+ public:
+  void worker_step(std::uint64_t cycle);
+
+ private:
+  void send(std::uint64_t line);
+  std::uint64_t local_pos_ = 0;
+  std::uint64_t shared_counter_ = 0;  // tbp-lint: shard(shared)
+  bool shard_mode_ = false;
+};
+
+// tbp-lint: shard(worker)
+void Engine::worker_step(std::uint64_t cycle) {
+  local_pos_ = cycle;
+  send(cycle);
+}
+
+// tbp-lint: shard(route)
+void Engine::send(std::uint64_t line) {
+  if (shard_mode_) {
+    local_pos_ = line;
+  } else {
+    shared_counter_ += line;
+  }
+}

@@ -1,0 +1,23 @@
+// Fixture: the same worker-phase reaches, each silenced by a justified
+// allow (own-line form and same-line form).
+#include <cstdint>
+
+class Engine {
+ public:
+  void worker_step(std::uint64_t cycle);
+  void commit_tick(std::uint64_t cycle);  // tbp-lint: shard(commit)
+
+ private:
+  void helper(std::uint64_t cycle);
+  std::uint64_t shared_counter_ = 0;  // tbp-lint: shard(shared)
+  bool shard_mode_ = false;
+};
+
+// tbp-lint: shard(worker)
+void Engine::worker_step(std::uint64_t cycle) { helper(cycle); }
+
+void Engine::helper(std::uint64_t cycle) {
+  // tbp-lint: allow(shard-safety) -- fixture: epoch boundary, workers parked
+  shared_counter_ += cycle;
+  commit_tick(cycle);  // tbp-lint: allow(shard-safety) -- fixture: barrier-ordered
+}

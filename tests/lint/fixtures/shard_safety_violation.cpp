@@ -1,0 +1,26 @@
+// Fixture: worker-phase code reaching shard(shared) state and a
+// commit-phase API, plus a route shim that never touches the plumbing.
+#include <cstdint>
+
+class Engine {
+ public:
+  void worker_step(std::uint64_t cycle);
+  void commit_tick(std::uint64_t cycle);  // tbp-lint: shard(commit)
+  void bad_route(std::uint64_t cycle);
+
+ private:
+  void helper(std::uint64_t cycle);
+  std::uint64_t shared_counter_ = 0;  // tbp-lint: shard(shared)
+  bool shard_mode_ = false;
+};
+
+// tbp-lint: shard(worker)
+void Engine::worker_step(std::uint64_t cycle) { helper(cycle); }
+
+void Engine::helper(std::uint64_t cycle) {
+  shared_counter_ += cycle;
+  commit_tick(cycle);
+}
+
+// tbp-lint: shard(route)
+void Engine::bad_route(std::uint64_t cycle) { helper(cycle); }

@@ -3,6 +3,7 @@
 // suppression syntax is exercised in both forms, exit codes are checked,
 // and — the teeth — the real repository tree must lint clean.
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -12,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include "lint/driver.hpp"
+#include "lint/lexer.hpp"
 #include "lint/rules.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -35,10 +38,14 @@ std::string read_file(const std::string& path) {
   return text.str();
 }
 
-/// Fixture-directory policy: no allowlists, fixtures are order-sensitive.
+/// Fixture-directory policy: no allowlists, fixtures are order-sensitive
+/// and in scope for the shard/lock/layering passes with a tiny rank table.
 LintConfig fixture_config() {
   LintConfig config;
   config.order_sensitive = {"tests/lint/fixtures/"};
+  config.shard_scope = {"tests/lint/fixtures/"};
+  config.shard_guard_tokens = {"shard_mode_"};
+  config.layer_ranks = {{"support", 0}, {"store", 5}};
   return config;
 }
 
@@ -46,6 +53,14 @@ LintConfig fixture_config() {
 std::vector<Diagnostic> lint_fixture(const std::string& name) {
   return tbp_lint::lint_source("tests/lint/fixtures/" + name,
                                read_file(fixture_path(name)),
+                               fixture_config());
+}
+
+/// Lints a fixture under an arbitrary repo-relative path — the layering
+/// pass keys off the directory a file claims to live in.
+std::vector<Diagnostic> lint_fixture_as(const std::string& path,
+                                        const std::string& name) {
+  return tbp_lint::lint_source(path, read_file(fixture_path(name)),
                                fixture_config());
 }
 
@@ -121,6 +136,149 @@ TEST(LintFixtures, UnjustifiedSuppressionIsItselfAFinding) {
       << "the allow is honored once, but the missing justification reports";
 }
 
+// --- shard-safety ---------------------------------------------------------
+
+TEST(LintFixtures, ShardSafetyFlagsWorkerReachAndDishonestRoute) {
+  const auto diags = lint_fixture("shard_safety_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"shard-safety", 21},  // helper (worker-reachable) writes shared state
+      {"shard-safety", 22},  // helper calls a commit-phase API
+      {"shard-safety", 26},  // route shim never touches the shard plumbing
+  };
+  ASSERT_EQ(rule_lines(diags), expected);
+  EXPECT_NE(diags[0].message.find("shared_counter_"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("commit_tick"), std::string::npos);
+  EXPECT_NE(diags[2].message.find("bad_route"), std::string::npos);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_EQ(d.file, "tests/lint/fixtures/shard_safety_violation.cpp");
+  }
+}
+
+TEST(LintFixtures, ShardSafetyJustifiedAllowsSilenceBothForms) {
+  const auto diags = lint_fixture("shard_safety_suppressed.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+TEST(LintFixtures, ShardSafetyHonestRouteAndLocalStateAreClean) {
+  const auto diags = lint_fixture("shard_safety_clean.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+// --- guarded-by -----------------------------------------------------------
+
+TEST(LintFixtures, GuardedByFlagsUnlockedAccessAndUnlockedHelperCall) {
+  const auto diags = lint_fixture("guarded_by_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"guarded-by", 23},  // value_ touched with no lock scope in sight
+      {"guarded-by", 26},  // flush_locked() called outside any lock scope
+  };
+  ASSERT_EQ(rule_lines(diags), expected);
+  EXPECT_NE(diags[0].message.find("value_"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("flush_locked"), std::string::npos);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_EQ(d.file, "tests/lint/fixtures/guarded_by_violation.cpp");
+  }
+}
+
+TEST(LintFixtures, GuardedByJustifiedAllowSilences) {
+  const auto diags = lint_fixture("guarded_by_suppressed.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+TEST(LintFixtures, GuardedByLockScopesAndLockedHelpersAreClean) {
+  const auto diags = lint_fixture("guarded_by_clean.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+// --- layering -------------------------------------------------------------
+
+TEST(LintFixtures, LayeringFlagsUpwardIncludeEdge) {
+  const auto diags = lint_fixture_as("src/support/layering_violation.cpp",
+                                     "layering_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"layering", 3},  // support (rank 0) -> store (rank 5)
+  };
+  ASSERT_EQ(rule_lines(diags), expected);
+  EXPECT_NE(diags[0].message.find("'support' -> 'store'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("DESIGN.md"), std::string::npos);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(LintFixtures, LayeringJustifiedAllowSilences) {
+  const auto diags = lint_fixture_as("src/support/layering_suppressed.cpp",
+                                     "layering_suppressed.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+TEST(LintFixtures, LayeringDownwardIncludeIsClean) {
+  const auto diags = lint_fixture_as("src/store/layering_clean.cpp",
+                                     "layering_clean.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+// --- lexer regressions ----------------------------------------------------
+
+TEST(LintFixtures, DigitSeparatorsDoNotDesyncTheLexer) {
+  const auto diags = lint_fixture("lexer_digit_separator.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"determinism-rand", 10},
+  };
+  EXPECT_EQ(rule_lines(diags), expected)
+      << "1'000'000 must lex as one number, not open a char literal";
+}
+
+TEST(LintFixtures, RawStringContentsAreDataAndNewlinesStillCount) {
+  const auto diags = lint_fixture("lexer_raw_string.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"determinism-rand", 14},
+  };
+  EXPECT_EQ(rule_lines(diags), expected)
+      << "rand()/getenv() inside R\"doc(...)doc\" must stay inert";
+}
+
+TEST(LintLexer, DigitSeparatorIsOneNumberToken) {
+  const tbp_lint::LexedFile lexed = tbp_lint::lex("auto x = 1'000'000;");
+  bool found = false;
+  for (const tbp_lint::Token& tok : lexed.tokens) {
+    if (tok.kind == tbp_lint::TokKind::kNumber) {
+      EXPECT_EQ(tok.text, "1'000'000");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, RawStringIsConsumedAndLinesAreCounted) {
+  const tbp_lint::LexedFile lexed =
+      tbp_lint::lex("auto s = R\"doc(rand() \" ) )doc\";\nint after = 1;");
+  for (const tbp_lint::Token& tok : lexed.tokens) {
+    EXPECT_NE(tok.text, "rand") << "raw-string interior leaked into tokens";
+    if (tok.text == "after") {
+      EXPECT_EQ(tok.line, 2);
+    }
+  }
+  const tbp_lint::LexedFile multi = tbp_lint::lex("R\"(a\nb\nc)\" tail");
+  ASSERT_FALSE(multi.tokens.empty());
+  EXPECT_EQ(multi.tokens.back().text, "tail");
+  EXPECT_EQ(multi.tokens.back().line, 3);
+}
+
+TEST(LintLexer, UnterminatedRawStringConsumesToEndWithoutLooping) {
+  const tbp_lint::LexedFile lexed =
+      tbp_lint::lex("auto s = R\"doc(never closes\nrand()");
+  for (const tbp_lint::Token& tok : lexed.tokens) {
+    EXPECT_NE(tok.text, "rand");
+  }
+}
+
 TEST(LintDriver, FixtureDirectoryScanFailsWithExitCodeOne) {
   LintOptions options;
   options.root = TBP_LINT_FIXTURE_DIR;
@@ -175,9 +333,110 @@ TEST(LintOutput, RuleRegistryHasUniqueIdsCoveringEmittedRules) {
   for (const char* emitted :
        {"determinism-rand", "determinism-clock", "determinism-time",
         "determinism-getenv", "unordered-iter", "nodiscard-status",
-        "discarded-status", "pragma-once", "naked-new", "lint-suppression"}) {
+        "discarded-status", "pragma-once", "naked-new", "lint-suppression",
+        "shard-safety", "guarded-by", "layering"}) {
     EXPECT_EQ(ids.count(emitted), 1u) << emitted;
   }
+}
+
+// The SARIF document must parse as strict JSON and carry the fields the
+// 2.1.0 schema marks required on the path we emit: version, runs, tool
+// driver with the rule registry, and per-result rule/level/location.
+TEST(LintOutput, SarifValidatesAgainstMinimalSchemaShape) {
+  LintResult result;
+  result.diagnostics.push_back(Diagnostic{
+      "src/a.cpp", 42, "determinism-rand", Severity::kError, "no rand"});
+  result.diagnostics.push_back(Diagnostic{
+      "src/b.hpp", 7, "naked-new", Severity::kWarning, "prefer make_unique"});
+  const std::string doc = tbp_lint::render_sarif(result);
+
+  const auto parsed = tbp::obs::json_parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const tbp::obs::JsonValue& root = parsed.value();
+
+  ASSERT_NE(root.find("$schema"), nullptr);
+  EXPECT_EQ(root.find("$schema")->as_string(),
+            "https://json.schemastore.org/sarif-2.1.0.json");
+  ASSERT_NE(root.find("version"), nullptr);
+  EXPECT_EQ(root.find("version")->as_string(), "2.1.0");
+
+  const tbp::obs::JsonValue* runs = root.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  ASSERT_EQ(runs->items().size(), 1u);
+  const tbp::obs::JsonValue& run = runs->items()[0];
+
+  const tbp::obs::JsonValue* tool = run.find("tool");
+  ASSERT_NE(tool, nullptr);
+  const tbp::obs::JsonValue* driver = tool->find("driver");
+  ASSERT_NE(driver, nullptr);
+  ASSERT_NE(driver->find("name"), nullptr);
+  EXPECT_EQ(driver->find("name")->as_string(), "tbp-lint");
+  const tbp::obs::JsonValue* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->items().size(), tbp_lint::rule_registry().size());
+  for (const tbp::obs::JsonValue& rule : rules->items()) {
+    ASSERT_NE(rule.find("id"), nullptr);
+    ASSERT_NE(rule.find("shortDescription"), nullptr);
+    ASSERT_NE(rule.find("shortDescription")->find("text"), nullptr);
+  }
+
+  const tbp::obs::JsonValue* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), 2u);
+  const tbp::obs::JsonValue& first = results->items()[0];
+  EXPECT_EQ(first.find("ruleId")->as_string(), "determinism-rand");
+  EXPECT_EQ(first.find("level")->as_string(), "error");
+  EXPECT_EQ(first.find("message")->find("text")->as_string(), "no rand");
+  const tbp::obs::JsonValue* loc =
+      first.find("locations")->items()[0].find("physicalLocation");
+  ASSERT_NE(loc, nullptr);
+  EXPECT_EQ(loc->find("artifactLocation")->find("uri")->as_string(),
+            "src/a.cpp");
+  EXPECT_EQ(loc->find("region")->find("startLine")->as_u64(), 42u);
+  EXPECT_EQ(results->items()[1].find("level")->as_string(), "warning");
+}
+
+// Cold run populates the summary store; warm run must hit for every file
+// and still render byte-identical diagnostics — the incremental cache is
+// only allowed to save time, never to change output.
+TEST(LintCache, WarmRunSkipsReanalysisWithIdenticalDiagnostics) {
+  namespace fs = std::filesystem;
+  const fs::path cache_dir =
+      fs::temp_directory_path() / "tbp-lint-cache-test";
+  fs::remove_all(cache_dir);
+
+  LintOptions options;
+  options.root = TBP_LINT_FIXTURE_DIR;
+  options.subdirs = {"."};
+  options.excludes = {};
+  options.cache_dir = cache_dir.string();
+  options.config = fixture_config();
+  options.config.order_sensitive = {""};
+
+  const LintResult cold = tbp_lint::run_lint(options);
+  ASSERT_FALSE(cold.io_error) << cold.io_message;
+  ASSERT_TRUE(cold.cache_enabled);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, cold.files_scanned);
+
+  const LintResult warm = tbp_lint::run_lint(options);
+  ASSERT_FALSE(warm.io_error) << warm.io_message;
+  ASSERT_TRUE(warm.cache_enabled);
+  EXPECT_GT(warm.files_scanned, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.files_scanned);
+
+  const auto render = [](const LintResult& r) {
+    std::ostringstream out;
+    for (const Diagnostic& d : r.diagnostics) {
+      out << tbp_lint::format_diagnostic(d, OutputFormat::kText) << '\n';
+    }
+    return out.str();
+  };
+  EXPECT_FALSE(render(cold).empty());
+  EXPECT_EQ(render(cold), render(warm));
+  fs::remove_all(cache_dir);
 }
 
 // The acceptance gate: the real tree has zero unsuppressed findings under

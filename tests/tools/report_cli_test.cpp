@@ -119,6 +119,79 @@ TEST(ReportCliTest, ThroughputDropAndAccuracyLossAreGated) {
   EXPECT_EQ(run({"compare", base, better, "--max-regress", "10"}), kExitOk);
 }
 
+// Golden output: a manifest carrying `store.*` metrics counters must
+// surface them as one deterministic `store:` line — exact bytes pinned.
+TEST(ReportCliTest, ShowSurfacesStoreCountersGoldenOutput) {
+  const std::string dir = temp_dir("tbp_report_store");
+  JsonValue counters = JsonValue::object();
+  counters.set("store.hits", std::uint64_t{12});
+  counters.set("store.misses", std::uint64_t{3});
+  counters.set("store.evictions", std::uint64_t{1});
+  counters.set("store.quarantined", std::uint64_t{2});
+  counters.set("sim.cycles", std::uint64_t{999});  // non-store: not shown
+  JsonValue metrics = JsonValue::object();
+  metrics.set("counters", std::move(counters));
+  JsonValue body = JsonValue::object();
+  body.set("tool", "tbpoint_cli");
+  body.set("command", "pipeline");
+  body.set("metrics", std::move(metrics));
+  const std::string path = dir + "/manifest.json";
+  ASSERT_TRUE(
+      obs::write_json_file(obs::seal_json(obs::kManifestSchema, body), path)
+          .ok());
+
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  EXPECT_EQ(run_report({"show", path}, capture), kExitOk);
+  std::rewind(capture);
+  std::string output;
+  char buffer[512];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), capture)) > 0) {
+    output.append(buffer, n);
+  }
+  std::fclose(capture);
+
+  const std::string expected =
+      path + " (" + std::string(obs::kManifestSchema) + ")\n" +
+      "tool: tbpoint_cli pipeline\n" +
+      "store: evictions=1 hits=12 misses=3 quarantined=2\n";
+  EXPECT_EQ(output, expected);
+}
+
+// Bench-perf documents carry the counters as a `store` object instead;
+// the same line must come out.
+TEST(ReportCliTest, ShowSurfacesStoreBlockInBenchPerfDocuments) {
+  const std::string dir = temp_dir("tbp_report_store_perf");
+  JsonValue body = perf_body(2.0, 5e6, 1.0);
+  JsonValue store = JsonValue::object();
+  store.set("hits", std::uint64_t{7});
+  store.set("misses", std::uint64_t{5});
+  store.set("evictions", std::uint64_t{0});
+  store.set("quarantined", std::uint64_t{1});
+  body.set("store", std::move(store));
+  const std::string path = dir + "/perf.json";
+  ASSERT_TRUE(
+      obs::write_json_file(obs::seal_json(obs::kBenchPerfSchema, body), path)
+          .ok());
+
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  EXPECT_EQ(run_report({"show", path}, capture), kExitOk);
+  std::rewind(capture);
+  std::string output;
+  char buffer[512];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), capture)) > 0) {
+    output.append(buffer, n);
+  }
+  std::fclose(capture);
+  EXPECT_NE(
+      output.find("store: evictions=0 hits=7 misses=5 quarantined=1\n"),
+      std::string::npos)
+      << output;
+}
+
 TEST(ReportCliTest, SchemaMismatchBetweenFilesIsUnreadable) {
   const std::string dir = temp_dir("tbp_report_schema");
   const std::string perf = write_perf(dir + "/perf.json", 2.0, 5e6, 1.0);

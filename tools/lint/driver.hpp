@@ -1,5 +1,13 @@
-// tbp_lint driver: collects sources, runs the rules, applies inline
-// suppressions and renders reports.
+// tbp_lint driver: collects sources, runs the two-pass pipeline, applies
+// inline suppressions and renders reports.
+//
+// Pipeline: pass one builds (or loads from the ContentStore cache) a
+// FileSummary per file — local rules plus the symbol facts; pass two runs
+// the cross-file passes (error discipline, layering, shard safety) over
+// the summary set every invocation.  The cache key is a content hash over
+// (config fingerprint, file bytes, paired-header bytes), so a warm run
+// re-analyzes only changed files and still produces byte-identical
+// diagnostics.
 //
 // Suppression syntax, checked by the `lint-suppression` meta-rule:
 //
@@ -16,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "lint/graph.hpp"
 #include "lint/rules.hpp"
+#include "lint/symbols.hpp"
 
 namespace tbp_lint {
 
@@ -25,6 +35,9 @@ struct LintOptions {
   std::vector<std::string> subdirs = {"src", "tools", "bench", "tests"};
   /// Path prefixes never scanned (deliberately-broken lint fixtures).
   std::vector<std::string> excludes = {"tests/lint/fixtures"};
+  /// ContentStore directory for incremental summaries; empty disables
+  /// caching.  An unopenable store degrades silently to uncached.
+  std::string cache_dir;
   LintConfig config = default_config();
 };
 
@@ -32,6 +45,9 @@ struct LintResult {
   std::vector<Diagnostic> diagnostics;  ///< sorted by (file, line, rule)
   std::size_t files_scanned = 0;
   std::size_t suppressions_used = 0;
+  bool cache_enabled = false;
+  std::size_t cache_hits = 0;    ///< files whose summary came from the store
+  std::size_t cache_misses = 0;  ///< files re-lexed and re-analyzed
   bool io_error = false;
   std::string io_message;
 };
@@ -39,18 +55,24 @@ struct LintResult {
 [[nodiscard]] LintResult run_lint(const LintOptions& options);
 
 /// Lints one in-memory source as repo-relative `path` under `config` —
-/// single-file analysis with suppressions applied, used by the fixture
-/// tests (the status index is built from just this file).
+/// single-file analysis with all passes (including the cross passes, run
+/// over the one-file summary set) and suppressions applied; used by the
+/// fixture tests.
 [[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
                                                   const std::string& source,
                                                   const LintConfig& config);
 
-enum class OutputFormat { kText, kGithub };
+enum class OutputFormat { kText, kGithub, kSarif };
 
 [[nodiscard]] std::string format_diagnostic(const Diagnostic& diag,
                                             OutputFormat format);
 
-/// Diagnostics to `out`, one per line; summary to `err`.
+/// SARIF 2.1.0 document: one run, the full rule registry in
+/// tool.driver.rules, one result per diagnostic.
+[[nodiscard]] std::string render_sarif(const LintResult& result);
+
+/// Diagnostics to `out` (one per line; one whole document for SARIF);
+/// summary to `err`.
 void print_report(const LintResult& result, OutputFormat format,
                   std::ostream& out, std::ostream& err);
 

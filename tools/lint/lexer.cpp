@@ -128,9 +128,35 @@ class Lexer {
     if (raw && peek() == 'R') advance();
     advance();  // opening quote
     if (raw) {
+      // [lex.string]: the d-char-sequence is at most 16 characters and may
+      // not contain spaces, parentheses, backslashes or control characters.
+      // An ill-formed prefix (a stray `R"` with no open paren) must not
+      // swallow the rest of the file, so on any invalid delimiter character
+      // we fall back to ordinary-string scanning from here.
       std::string delim;
-      while (!eof() && peek() != '(') delim.push_back(advance());
-      if (!eof()) advance();  // '('
+      bool well_formed = false;
+      while (!eof() && delim.size() <= 16) {
+        const char c = peek();
+        if (c == '(') {
+          well_formed = true;
+          break;
+        }
+        if (c == ')' || c == '\\' || c == '"' || c == ' ' || c == '\t' ||
+            c == '\n' || c == '\r' || c == '\v' || c == '\f') {
+          break;
+        }
+        delim.push_back(advance());
+      }
+      if (!well_formed) {
+        while (!eof() && peek() != '"' && peek() != '\n') {
+          if (peek() == '\\') advance();
+          if (!eof()) advance();
+        }
+        if (!eof() && peek() == '"') advance();
+        line_has_token_ = true;
+        return;
+      }
+      advance();  // '('
       const std::string closer = ")" + delim + "\"";
       while (!eof() && src_.substr(pos_, closer.size()) != closer) advance();
       for (std::size_t i = 0; i < closer.size() && !eof(); ++i) advance();
@@ -164,10 +190,16 @@ class Lexer {
   void number() {
     const int start = line_;
     std::string text;
-    // pp-number: digits, identifier chars, dots and exponent signs run
-    // together; the linter never inspects the value.
+    // pp-number: digits, identifier chars, dots, exponent signs and digit
+    // separators (1'000'000) run together; the linter never inspects the
+    // value.  A quote not followed by an identifier character ends the
+    // number (it opens a real char literal instead).
     while (!eof()) {
       const char c = peek();
+      if (c == '\'' && is_ident_char(peek(1))) {
+        text.push_back(advance());
+        continue;
+      }
       if (!is_ident_char(c) && c != '.') break;
       text.push_back(advance());
       if ((text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||

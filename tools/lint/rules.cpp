@@ -78,30 +78,21 @@ using Tokens = std::vector<Token>;
   return i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
 }
 
-[[nodiscard]] bool path_matches(const std::string& path,
-                                const std::vector<std::string>& prefixes) {
-  return std::any_of(prefixes.begin(), prefixes.end(),
-                     [&](const std::string& p) { return path.rfind(p, 0) == 0; });
-}
-
-[[nodiscard]] bool is_header(const std::string& path) {
-  return path.ends_with(".hpp") || path.ends_with(".h");
-}
-
-void emit(std::vector<Diagnostic>* out, const FileUnit& unit, int line,
+void emit(std::vector<Diagnostic>* out, const std::string& path, int line,
           std::string rule, std::string message) {
-  out->push_back(Diagnostic{unit.path, line, rule, rule_severity(rule),
+  out->push_back(Diagnostic{path, line, rule, rule_severity(rule),
                             std::move(message)});
 }
 
 // ---------------------------------------------------------------------------
 // determinism-* rules
 
-void check_determinism(const FileUnit& unit, const LintConfig& config,
+void check_determinism(const std::string& path, const LexedFile& lexed,
+                       const LintConfig& config,
                        std::vector<Diagnostic>* out) {
-  const Tokens& toks = unit.lexed.tokens;
-  const bool clock_ok = path_matches(unit.path, config.clock_allowlist);
-  const bool env_ok = path_matches(unit.path, config.getenv_allowlist);
+  const Tokens& toks = lexed.tokens;
+  const bool clock_ok = path_matches(path, config.clock_allowlist);
+  const bool env_ok = path_matches(path, config.getenv_allowlist);
 
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
@@ -109,13 +100,13 @@ void check_determinism(const FileUnit& unit, const LintConfig& config,
     if (member_access_before(toks, i)) continue;
 
     if (in_table(kBannedRandomIdents, t.text)) {
-      emit(out, unit, t.line, "determinism-rand",
+      emit(out, path, t.line, "determinism-rand",
            "'" + t.text +
                "' is nondeterministic; use the seeded tbp::stats RNG");
       continue;
     }
     if (!clock_ok && in_table(kWallClockIdents, t.text)) {
-      emit(out, unit, t.line, "determinism-clock",
+      emit(out, path, t.line, "determinism-clock",
            "wall-clock type '" + t.text +
                "' outside the timing allowlist; simulated results must "
                "depend only on simulated cycles");
@@ -124,49 +115,18 @@ void check_determinism(const FileUnit& unit, const LintConfig& config,
     if (!clock_ok && in_table(kWallClockCalls, t.text)) {
       const Token* next = at(toks, i + 1);
       if (next != nullptr && is_punct(*next, "(")) {
-        emit(out, unit, t.line, "determinism-time",
+        emit(out, path, t.line, "determinism-time",
              "call to wall-clock function '" + t.text +
                  "' outside the timing allowlist");
         continue;
       }
     }
     if (!env_ok && in_table(kEnvIdents, t.text)) {
-      emit(out, unit, t.line, "determinism-getenv",
+      emit(out, path, t.line, "determinism-getenv",
            "environment access '" + t.text +
                "' makes results depend on ambient state; thread "
                "configuration through options structs instead");
     }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// unordered-iter
-
-/// Names declared in this file with an unordered (or sorted) container
-/// type.  Heuristic: `unordered_map<...> [&*const] name`.
-void collect_container_names(const Tokens& toks,
-                             std::unordered_set<std::string>* unordered_names,
-                             std::unordered_set<std::string>* sorted_names) {
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kIdentifier) continue;
-    const bool is_unordered = in_table(kUnorderedTypes, t.text);
-    const bool is_sorted =
-        in_table(kSortedTypes, t.text) && i >= 2 &&
-        is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "std");
-    if (!is_unordered && !is_sorted) continue;
-    std::size_t j = i + 1;
-    const Token* open = at(toks, j);
-    if (open == nullptr || !is_punct(*open, "<")) continue;
-    j = skip_balanced(toks, j, "<", ">");
-    while (j < toks.size() &&
-           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
-            is_ident(toks[j], "const"))) {
-      ++j;
-    }
-    const Token* name = at(toks, j);
-    if (name == nullptr || name->kind != TokKind::kIdentifier) continue;
-    (is_unordered ? unordered_names : sorted_names)->insert(name->text);
   }
 }
 
@@ -184,96 +144,8 @@ void collect_container_names(const Tokens& toks,
   return {after, j};
 }
 
-void check_unordered_iteration(const FileUnit& unit, const LintConfig& config,
-                               std::vector<Diagnostic>* out) {
-  if (!path_matches(unit.path, config.order_sensitive)) return;
-  const Tokens& toks = unit.lexed.tokens;
-
-  std::unordered_set<std::string> unordered_names;
-  std::unordered_set<std::string> sorted_names;
-  collect_container_names(toks, &unordered_names, &sorted_names);
-  if (unit.companion_header != nullptr) {
-    collect_container_names(unit.companion_header->tokens, &unordered_names,
-                            &sorted_names);
-  }
-  if (unordered_names.empty()) return;
-
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    // Explicit iterator traversal: name.begin() / name.cbegin().
-    if (toks[i].kind == TokKind::kIdentifier &&
-        unordered_names.count(toks[i].text) != 0 &&
-        !member_access_before(toks, i)) {
-      const Token* dot = at(toks, i + 1);
-      const Token* fn = at(toks, i + 2);
-      if (dot != nullptr && fn != nullptr &&
-          (is_punct(*dot, ".") || is_punct(*dot, "->")) &&
-          (fn->text == "begin" || fn->text == "cbegin")) {
-        emit(out, unit, toks[i].line, "unordered-iter",
-             "iterator traversal of unordered container '" + toks[i].text +
-                 "' in an order-sensitive file; iteration order here can "
-                 "reach exported bytes");
-      }
-    }
-
-    // Range-for whose range expression names an unordered container.
-    if (!is_ident(toks[i], "for")) continue;
-    const Token* open = at(toks, i + 1);
-    if (open == nullptr || !is_punct(*open, "(")) continue;
-    const std::size_t close = skip_balanced(toks, i + 1, "(", ")");
-    // Locate the range-for ':' at paren depth 1; a classic for has ';'
-    // first and is skipped.
-    std::size_t colon = 0;
-    std::size_t depth = 0;
-    for (std::size_t j = i + 1; j < close; ++j) {
-      if (is_punct(toks[j], "(")) ++depth;
-      if (is_punct(toks[j], ")")) --depth;
-      if (depth == 1 && is_punct(toks[j], ";")) break;
-      if (depth == 1 && is_punct(toks[j], ":")) {
-        colon = j;
-        break;
-      }
-    }
-    if (colon == 0) continue;
-    std::string ranged;
-    for (std::size_t j = colon + 1; j + 1 < close; ++j) {
-      if (toks[j].kind == TokKind::kIdentifier &&
-          unordered_names.count(toks[j].text) != 0) {
-        ranged = toks[j].text;
-        break;
-      }
-    }
-    if (ranged.empty()) continue;
-
-    // Escape hatch: a loop that provably feeds a sorted intermediate (its
-    // body touches a std::map/std::set declared in this file, or sorts) is
-    // order-safe — accumulation into a sorted container commutes.
-    const auto [body_begin, body_end] = body_span(toks, close);
-    bool feeds_sorted = false;
-    for (std::size_t j = body_begin; j < body_end; ++j) {
-      if (toks[j].kind == TokKind::kIdentifier &&
-          (sorted_names.count(toks[j].text) != 0 || toks[j].text == "sort")) {
-        feeds_sorted = true;
-        break;
-      }
-    }
-    if (feeds_sorted) continue;
-    emit(out, unit, toks[i].line, "unordered-iter",
-         "range-for over unordered container '" + ranged +
-             "' in an order-sensitive file does not feed a sorted "
-             "intermediate; iteration order can reach exported bytes");
-  }
-}
-
 // ---------------------------------------------------------------------------
-// nodiscard-status / discarded-status
-
-struct StatusFunction {
-  std::string name;
-  int line = 0;
-  bool is_declaration = false;  ///< prototype (';'-terminated)
-  bool qualified = false;       ///< out-of-line member definition
-  bool has_nodiscard = false;
-};
+// nodiscard-status / discarded-status building blocks
 
 /// Matches `[[nodiscard]]? [tbp::]Status|Result<...> name(args) suffix ;|{`
 /// at any scope.  `fn` receives every match.
@@ -393,83 +265,26 @@ void for_each_status_function(const Tokens& toks, Fn&& fn) {
   }
 }
 
-void check_nodiscard(const FileUnit& unit, const StatusIndex& index,
-                     std::vector<Diagnostic>* out) {
-  const bool header = is_header(unit.path);
-  for_each_status_function(unit.lexed.tokens, [&](const StatusFunction& f) {
-    if (f.has_nodiscard) return;
-    if (!f.is_declaration) {
-      // A definition needs its own [[nodiscard]] only when it *is* the
-      // declaration: out-of-line member bodies and .cpp definitions of
-      // header-declared functions inherit the attribute from the prototype.
-      if (f.qualified) return;
-      if (!header && std::binary_search(index.declared_names.begin(),
-                                        index.declared_names.end(), f.name)) {
-        return;
-      }
-    }
-    emit(out, unit, f.line, "nodiscard-status",
-         "'" + f.name +
-             "' returns Status/Result but is not [[nodiscard]]; a dropped "
-             "error here silently un-does the PR-1 error discipline");
-  });
-}
-
-void check_discarded_calls(const FileUnit& unit, const StatusIndex& index,
-                           std::vector<Diagnostic>* out) {
-  const Tokens& toks = unit.lexed.tokens;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokKind::kIdentifier) continue;
-    if (!std::binary_search(index.function_names.begin(),
-                            index.function_names.end(), t.text)) {
-      continue;
-    }
-    const Token* open = at(toks, i + 1);
-    if (open == nullptr || !is_punct(*open, "(")) continue;
-
-    // Walk back over a `recv.obj->name` chain; the call is a discard only
-    // when the chain starts a statement.
-    std::size_t b = i;
-    while (b >= 2 &&
-           (is_punct(toks[b - 1], ".") || is_punct(toks[b - 1], "->")) &&
-           toks[b - 2].kind == TokKind::kIdentifier) {
-      b -= 2;
-    }
-    const bool statement_start =
-        b == 0 || is_punct(toks[b - 1], ";") || is_punct(toks[b - 1], "{") ||
-        is_punct(toks[b - 1], "}") || toks[b - 1].kind == TokKind::kDirective;
-    if (!statement_start) continue;
-
-    const std::size_t k = skip_balanced(toks, i + 1, "(", ")");
-    const Token* after = at(toks, k);
-    if (after == nullptr || !is_punct(*after, ";")) continue;
-    emit(out, unit, t.line, "discarded-status",
-         "result of '" + t.text +
-             "' (returns Status/Result) is discarded; handle it or cast "
-             "to void with a reason");
-  }
-}
-
 // ---------------------------------------------------------------------------
 // hygiene rules
 
-void check_pragma_once(const FileUnit& unit, std::vector<Diagnostic>* out) {
-  if (!is_header(unit.path)) return;
-  for (const Token& t : unit.lexed.tokens) {
+void check_pragma_once(const std::string& path, const LexedFile& lexed,
+                       std::vector<Diagnostic>* out) {
+  if (!is_header(path)) return;
+  for (const Token& t : lexed.tokens) {
     if (t.kind != TokKind::kDirective) continue;
     if (t.text.find("pragma") != std::string::npos &&
         t.text.find("once") != std::string::npos) {
       return;
     }
   }
-  emit(out, unit, 1, "pragma-once", "header is missing '#pragma once'");
+  emit(out, path, 1, "pragma-once", "header is missing '#pragma once'");
 }
 
-void check_naked_new(const FileUnit& unit, const LintConfig& config,
-                     std::vector<Diagnostic>* out) {
-  if (path_matches(unit.path, config.raw_memory_allowlist)) return;
-  const Tokens& toks = unit.lexed.tokens;
+void check_naked_new(const std::string& path, const LexedFile& lexed,
+                     const LintConfig& config, std::vector<Diagnostic>* out) {
+  if (path_matches(path, config.raw_memory_allowlist)) return;
+  const Tokens& toks = lexed.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdentifier ||
@@ -479,7 +294,7 @@ void check_naked_new(const FileUnit& unit, const LintConfig& config,
     if (t.text == "delete" && i > 0 && is_punct(toks[i - 1], "="))
       continue;  // deleted functions
     if (i > 0 && is_ident(toks[i - 1], "operator")) continue;
-    emit(out, unit, t.line, "naked-new",
+    emit(out, path, t.line, "naked-new",
          "naked '" + t.text +
              "' outside the low-level allowlist; prefer containers or "
              "unique_ptr so ownership is structural");
@@ -506,6 +321,12 @@ const std::vector<RuleInfo>& rule_registry() {
        "Status/Result-returning declaration without [[nodiscard]]"},
       {"discarded-status", Severity::kError,
        "call site that discards a Status/Result return value"},
+      {"shard-safety", Severity::kError,
+       "worker-phase code reaching commit-phase APIs or shard(shared) state"},
+      {"guarded-by", Severity::kError,
+       "TBP_GUARDED_BY field access outside a scope holding its mutex"},
+      {"layering", Severity::kError,
+       "include edge that violates the module DAG"},
       {"pragma-once", Severity::kError, "header missing #pragma once"},
       {"naked-new", Severity::kWarning,
        "naked new/delete outside the low-level allowlist"},
@@ -550,35 +371,184 @@ LintConfig default_config() {
       "src/service/",  // batching order reaches response/store writes
       "tools/report/",  // manifest rendering + compare gate output
   };
+  // Shard-safety scope: the sharded SM engine and everything a worker
+  // thread could plausibly reach from it — the store (whose index is
+  // process-shared) and the daemon (whose parallel region must stay
+  // store-free).
+  config.shard_scope = {
+      "src/sim/",
+      "src/store/",
+      "src/service/",
+      "src/support/parallel",
+  };
+  config.shard_entry_files = {"src/sim/gpu_sharded.cpp"};
+  config.shard_guard_tokens = {"shard_mode_", "issue_log_", "retire_log_"};
+  // The measured module DAG (DESIGN.md "Static invariants"): an include is
+  // legal within one module or from a higher rank to a strictly lower one.
+  config.layer_ranks = {
+      {"support", 0}, {"stats", 1},    {"trace", 2},     {"obs", 2},
+      {"markov", 3},  {"cluster", 3},  {"workloads", 3}, {"profile", 3},
+      {"sim", 3},     {"analytical", 4}, {"baselines", 4}, {"core", 4},
+      {"store", 5},   {"harness", 6},  {"fuzz", 7},      {"service", 7},
+      {"lint", 8},    {"tools", 9},    {"bench", 9},     {"tests", 10},
+  };
   return config;
 }
 
-StatusIndex build_status_index(const std::vector<FileUnit>& units) {
-  StatusIndex index;
-  for (const FileUnit& unit : units) {
-    for_each_status_function(unit.lexed.tokens, [&](const StatusFunction& f) {
-      if (f.name == "Status" || f.name == "Result") return;
-      index.function_names.push_back(f.name);
-      if (f.is_declaration) index.declared_names.push_back(f.name);
-    });
-  }
-  const auto finish = [](std::vector<std::string>* v) {
-    std::sort(v->begin(), v->end());
-    v->erase(std::unique(v->begin(), v->end()), v->end());
-  };
-  finish(&index.function_names);
-  finish(&index.declared_names);
-  return index;
+bool path_matches(const std::string& path,
+                  const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return path.rfind(p, 0) == 0; });
 }
 
-void run_rules(const FileUnit& unit, const LintConfig& config,
-               const StatusIndex& index, std::vector<Diagnostic>* out) {
-  check_determinism(unit, config, out);
-  check_unordered_iteration(unit, config, out);
-  check_nodiscard(unit, index, out);
-  check_discarded_calls(unit, index, out);
-  check_pragma_once(unit, out);
-  check_naked_new(unit, config, out);
+bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h");
+}
+
+void run_local_rules(const std::string& path, const LexedFile& lexed,
+                     const LintConfig& config, std::vector<Diagnostic>* out) {
+  check_determinism(path, lexed, config, out);
+  check_pragma_once(path, lexed, out);
+  check_naked_new(path, lexed, config, out);
+}
+
+void collect_container_names(const LexedFile& lexed,
+                             std::vector<std::string>* unordered_names,
+                             std::vector<std::string>* sorted_names) {
+  const Tokens& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const bool is_unordered = in_table(kUnorderedTypes, t.text);
+    const bool is_sorted =
+        in_table(kSortedTypes, t.text) && i >= 2 &&
+        is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "std");
+    if (!is_unordered && !is_sorted) continue;
+    std::size_t j = i + 1;
+    const Token* open = at(toks, j);
+    if (open == nullptr || !is_punct(*open, "<")) continue;
+    j = skip_balanced(toks, j, "<", ">");
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    const Token* name = at(toks, j);
+    if (name == nullptr || name->kind != TokKind::kIdentifier) continue;
+    (is_unordered ? unordered_names : sorted_names)->push_back(name->text);
+  }
+}
+
+void check_unordered_iteration(
+    const std::string& path, const LexedFile& lexed, const LintConfig& config,
+    const std::unordered_set<std::string>& unordered_names,
+    const std::unordered_set<std::string>& sorted_names,
+    std::vector<Diagnostic>* out) {
+  if (!path_matches(path, config.order_sensitive)) return;
+  if (unordered_names.empty()) return;
+  const Tokens& toks = lexed.tokens;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Explicit iterator traversal: name.begin() / name.cbegin().
+    if (toks[i].kind == TokKind::kIdentifier &&
+        unordered_names.count(toks[i].text) != 0 &&
+        !member_access_before(toks, i)) {
+      const Token* dot = at(toks, i + 1);
+      const Token* fn = at(toks, i + 2);
+      if (dot != nullptr && fn != nullptr &&
+          (is_punct(*dot, ".") || is_punct(*dot, "->")) &&
+          (fn->text == "begin" || fn->text == "cbegin")) {
+        emit(out, path, toks[i].line, "unordered-iter",
+             "iterator traversal of unordered container '" + toks[i].text +
+                 "' in an order-sensitive file; iteration order here can "
+                 "reach exported bytes");
+      }
+    }
+
+    // Range-for whose range expression names an unordered container.
+    if (!is_ident(toks[i], "for")) continue;
+    const Token* open = at(toks, i + 1);
+    if (open == nullptr || !is_punct(*open, "(")) continue;
+    const std::size_t close = skip_balanced(toks, i + 1, "(", ")");
+    // Locate the range-for ':' at paren depth 1; a classic for has ';'
+    // first and is skipped.
+    std::size_t colon = 0;
+    std::size_t depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")")) --depth;
+      if (depth == 1 && is_punct(toks[j], ";")) break;
+      if (depth == 1 && is_punct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    std::string ranged;
+    for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          unordered_names.count(toks[j].text) != 0) {
+        ranged = toks[j].text;
+        break;
+      }
+    }
+    if (ranged.empty()) continue;
+
+    // Escape hatch: a loop that provably feeds a sorted intermediate (its
+    // body touches a std::map/std::set declared in this file, or sorts) is
+    // order-safe — accumulation into a sorted container commutes.
+    const auto [body_begin, body_end] = body_span(toks, close);
+    bool feeds_sorted = false;
+    for (std::size_t j = body_begin; j < body_end; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          (sorted_names.count(toks[j].text) != 0 || toks[j].text == "sort")) {
+        feeds_sorted = true;
+        break;
+      }
+    }
+    if (feeds_sorted) continue;
+    emit(out, path, toks[i].line, "unordered-iter",
+         "range-for over unordered container '" + ranged +
+             "' in an order-sensitive file does not feed a sorted "
+             "intermediate; iteration order can reach exported bytes");
+  }
+}
+
+void collect_status_functions(const LexedFile& lexed,
+                              std::vector<StatusFunction>* out) {
+  for_each_status_function(lexed.tokens, [&](const StatusFunction& f) {
+    if (f.name == "Status" || f.name == "Result") return;
+    out->push_back(f);
+  });
+}
+
+void collect_discard_candidates(const LexedFile& lexed,
+                                std::vector<CodeRef>* out) {
+  const Tokens& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const Token* open = at(toks, i + 1);
+    if (open == nullptr || !is_punct(*open, "(")) continue;
+
+    // Walk back over a `recv.obj->name` chain; the call is a discard only
+    // when the chain starts a statement.
+    std::size_t b = i;
+    while (b >= 2 &&
+           (is_punct(toks[b - 1], ".") || is_punct(toks[b - 1], "->")) &&
+           toks[b - 2].kind == TokKind::kIdentifier) {
+      b -= 2;
+    }
+    const bool statement_start =
+        b == 0 || is_punct(toks[b - 1], ";") || is_punct(toks[b - 1], "{") ||
+        is_punct(toks[b - 1], "}") || toks[b - 1].kind == TokKind::kDirective;
+    if (!statement_start) continue;
+
+    const std::size_t k = skip_balanced(toks, i + 1, "(", ")");
+    const Token* after = at(toks, k);
+    if (after == nullptr || !is_punct(*after, ";")) continue;
+    out->push_back(CodeRef{t.text, t.line});
+  }
 }
 
 }  // namespace tbp_lint

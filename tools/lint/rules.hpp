@@ -4,13 +4,21 @@
 // determinism rules keep the bit-identical `--jobs`/`TBP_OBS` guarantees
 // enforceable at review time instead of only by the runtime property tests;
 // the error-discipline rules keep the Status/Result contract from PR 1
-// un-droppable; hygiene rules are cheap tripwires.  Rules are token-pattern
-// heuristics, tuned to this codebase — false positives are handled by the
-// inline suppression syntax (see driver.hpp), which requires a written
-// justification.
+// un-droppable; the shard-safety / lock-discipline / layering families keep
+// the PR-7/8 concurrency and module contracts honest; hygiene rules are
+// cheap tripwires.  Rules are token-pattern heuristics, tuned to this
+// codebase — false positives are handled by the inline suppression syntax
+// (see driver.hpp), which requires a written justification.
+//
+// This header holds the shared vocabulary (diagnostics, configuration) and
+// the *local* rules: checks that read one file's tokens, or one file plus
+// its paired header.  Cross-file passes live in graph.hpp and consume the
+// per-file summaries built by symbols.hpp.
 #pragma once
 
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "lint/lexer.hpp"
@@ -53,35 +61,76 @@ struct LintConfig {
   /// Translation units whose iteration order can reach an artifact, metric
   /// snapshot or trace: serialization, export, metrics translation.
   std::vector<std::string> order_sensitive;
+
+  /// Files whose functions join the shard-safety call/member-access graph
+  /// (the sharded SM engine, the store it must not touch worker-side, the
+  /// daemon's parallel region).  Empty disables the pass.
+  std::vector<std::string> shard_scope;
+  /// Files whose `ShardCrew crew(n, task)` task lambdas are auto-classified
+  /// as worker-phase roots without an annotation.
+  std::vector<std::string> shard_entry_files;
+  /// Identifiers whose presence legitimizes a `shard(route)` function: a
+  /// route API must actually branch on (or write to) the shard plumbing.
+  std::vector<std::string> shard_guard_tokens;
+
+  /// Module → rank table for the layering pass: an include edge is legal
+  /// only within one module or from a higher rank to a strictly lower one.
+  /// Empty disables the pass.
+  std::vector<std::pair<std::string, int>> layer_ranks;
 };
 
 [[nodiscard]] LintConfig default_config();
 
-struct FileUnit {
-  std::string path;  ///< repo-relative, forward slashes
-  LexedFile lexed;
-  /// Lexed paired header ("foo.hpp" for "foo.cpp") when it exists in the
-  /// scanned set: member containers are declared there, so the iteration
-  /// rules collect declared names from both sides.
-  const LexedFile* companion_header = nullptr;
+/// A named source position: a call site, a member access, an include.
+struct CodeRef {
+  std::string name;
+  int line = 0;
 };
 
-/// Cross-file index for the error-discipline rules, built in a first pass
-/// over every scanned unit.
-struct StatusIndex {
-  /// Names of functions returning tbp::Status / tbp::Result<T> (decls and
-  /// defs) — call sites that discard one of these are flagged.
-  std::vector<std::string> function_names;
-  /// Subset with a prototype declaration (`;`-terminated) somewhere in the
-  /// tree: their out-of-line definitions don't need a second [[nodiscard]].
-  std::vector<std::string> declared_names;
+/// One `Status`/`Result<...>`-returning function declarator, matched by the
+/// error-discipline rules.
+struct StatusFunction {
+  std::string name;
+  int line = 0;
+  bool is_declaration = false;  ///< prototype (';'-terminated)
+  bool qualified = false;       ///< out-of-line member definition
+  bool has_nodiscard = false;
 };
 
-[[nodiscard]] StatusIndex build_status_index(const std::vector<FileUnit>& units);
+[[nodiscard]] bool path_matches(const std::string& path,
+                                const std::vector<std::string>& prefixes);
+[[nodiscard]] bool is_header(const std::string& path);
 
-/// Runs every rule over one file, appending diagnostics (unsuppressed —
-/// the driver applies suppressions).
-void run_rules(const FileUnit& unit, const LintConfig& config,
-               const StatusIndex& index, std::vector<Diagnostic>* out);
+/// Single-file rules (determinism-*, pragma-once, naked-new): everything
+/// they read is in this file's tokens plus the config, so their findings
+/// are cacheable per file.
+void run_local_rules(const std::string& path, const LexedFile& lexed,
+                     const LintConfig& config, std::vector<Diagnostic>* out);
+
+/// Names declared with an unordered (or std:: sorted) container type in
+/// this file — inputs to the iteration rule, recorded in the file summary
+/// so the paired .cpp can see header-declared members without re-lexing.
+void collect_container_names(const LexedFile& lexed,
+                             std::vector<std::string>* unordered_names,
+                             std::vector<std::string>* sorted_names);
+
+/// The unordered-iteration check over one file, with the pair's combined
+/// declared-name sets passed in.
+void check_unordered_iteration(
+    const std::string& path, const LexedFile& lexed, const LintConfig& config,
+    const std::unordered_set<std::string>& unordered_names,
+    const std::unordered_set<std::string>& sorted_names,
+    std::vector<Diagnostic>* out);
+
+/// Every Status/Result declarator in the file (the `Status`/`Result`
+/// constructor-expression false matches are already filtered out).
+void collect_status_functions(const LexedFile& lexed,
+                              std::vector<StatusFunction>* out);
+
+/// Call statements that discard their result: `name(...)`;-at-statement-
+/// start sites, by callee name.  The cross pass flags the subset whose name
+/// resolves to a Status/Result function anywhere in the tree.
+void collect_discard_candidates(const LexedFile& lexed,
+                                std::vector<CodeRef>* out);
 
 }  // namespace tbp_lint

@@ -69,6 +69,34 @@ void print_config(const JsonValue& body, std::FILE* out) {
   std::fputc('\n', out);
 }
 
+/// Content-store health in one line: the hit/miss/eviction/quarantine
+/// counters the run recorded, in key order, so cache behavior is visible
+/// without opening the raw JSON.  Bench-perf documents carry them as a
+/// `store` object; manifests as `store.*` keys under metrics.counters.
+void print_store_counters(const JsonValue& body, std::FILE* out) {
+  std::string line;
+  const auto append = [&line](const std::string& name, const JsonValue& v) {
+    if (!v.is_number()) return;
+    line += ' ';
+    line += name;
+    line += '=';
+    line += std::to_string(v.as_u64());
+  };
+  const JsonValue* store = body.find("store");
+  if (store != nullptr && store->is_object()) {
+    for (const auto& [key, value] : store->members()) append(key, value);
+  } else {
+    const JsonValue* metrics = body.find("metrics");
+    const JsonValue* counters =
+        metrics != nullptr ? metrics->find("counters") : nullptr;
+    if (counters == nullptr || !counters->is_object()) return;
+    for (const auto& [key, value] : counters->members()) {
+      if (key.rfind("store.", 0) == 0) append(key.substr(6), value);
+    }
+  }
+  if (!line.empty()) std::fprintf(out, "store:%s\n", line.c_str());
+}
+
 void print_workloads(const JsonValue& body, std::FILE* out) {
   const JsonValue* workloads = body.find("workloads");
   if (workloads == nullptr || !workloads->is_array() ||
@@ -256,6 +284,7 @@ int cmd_show(const std::string& path, std::FILE* out) {
   std::fprintf(out, "%s (%s)\n", path.c_str(), doc->schema.c_str());
   if (doc->schema == obs::kBenchPerfSchema) {
     print_bench_perf(doc->body, out);
+    print_store_counters(doc->body, out);
     return kExitOk;
   }
   const JsonValue* tool = doc->body.find("tool");
@@ -264,6 +293,7 @@ int cmd_show(const std::string& path, std::FILE* out) {
                tool != nullptr ? tool->as_string().c_str() : "?",
                command != nullptr ? command->as_string().c_str() : "");
   print_config(doc->body, out);
+  print_store_counters(doc->body, out);
   print_workloads(doc->body, out);
   return kExitOk;
 }
