@@ -163,6 +163,8 @@ CommonFlags parse_common_flags(int argc, char** argv,
       flags.manifest_path = take_value();
     } else if (arg == "--perf-json") {
       flags.perf_json_path = take_value();
+    } else if (arg == "--prof") {
+      flags.prof_path = take_value();
     } else {
       const bool allowed =
           std::any_of(extra_allowed.begin(), extra_allowed.end(),
@@ -180,7 +182,7 @@ CommonFlags parse_common_flags(int argc, char** argv,
                    "usage: %s [--scale N] [--seed S] [--benchmarks a,b,...] "
                    "[--no-cache] [--cache-dir PATH] [--jobs N] [--sim-jobs N] "
                    "[--metrics PATH] [--trace PATH] [--manifest PATH] "
-                   "[--perf-json PATH]\n",
+                   "[--perf-json PATH] [--prof PATH]\n",
                    argv[0]);
       std::exit(2);
     }

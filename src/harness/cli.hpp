@@ -22,6 +22,9 @@
 //   --perf-json PATH   write a sealed tbp-bench-perf-v1 wall-time/throughput
 //                      document (BENCH_PERF.json; wall-clock, so NOT
 //                      byte-identical across runs)
+//   --prof PATH        write a sealed tbp-prof-v1 self-profiling sidecar
+//                      (shard load skew + latency spans; wall-clock, so NOT
+//                      byte-identical — and never part of the manifest)
 //
 // Every flag also accepts the --name=value spelling.
 #pragma once
@@ -62,6 +65,7 @@ struct CommonFlags {
   std::string trace_path;    ///< --trace output file; empty = off
   std::string manifest_path;  ///< --manifest output file; empty = off
   std::string perf_json_path; ///< --perf-json output file; empty = off
+  std::string prof_path;      ///< --prof sidecar output file; empty = off
 
   [[nodiscard]] const std::vector<std::string>& benchmark_list() const {
     return benchmarks.empty() ? workloads::workload_names() : benchmarks;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "profile/profiler.hpp"
 #include "sim/gpu.hpp"
 #include "stats/error.hpp"
@@ -64,6 +65,7 @@ ExperimentRow run_comparison(const workloads::Workload& workload,
     sim::GpuSimulator launch_sim(full_config);
     sim::RunOptions run_options;
     run_options.sim_jobs = options.sim_jobs;
+    if constexpr (prof::kEnabled) run_options.prof = options.prof;
     if constexpr (obs::kEnabled) {
       if (options.observe != nullptr) {
         // Per-launch shard/buffer keyed by launch index: the merge order is

@@ -16,6 +16,10 @@
 #include "sim/config.hpp"
 #include "workloads/workload.hpp"
 
+namespace tbp::prof {
+class ProfSession;
+}  // namespace tbp::prof
+
 namespace tbp::harness {
 
 struct ComparisonOptions {
@@ -51,6 +55,12 @@ struct ComparisonOptions {
   /// Base added to every trace pid this comparison emits, so rows sharing
   /// one session keep distinct process groups in the trace viewer.
   std::uint32_t observe_pid_base = 0;
+  /// Optional wall-clock self-profiling session (src/prof) attached to
+  /// every launch simulation this comparison runs.  The sharded engine
+  /// (sim_jobs > 1) absorbs per-SM/per-worker load-skew into it; like
+  /// `observe`, a pure observer excluded from the cache key — results and
+  /// manifests are byte-identical with or without it.
+  prof::ProfSession* prof = nullptr;
 };
 
 struct MethodResult {

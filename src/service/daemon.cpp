@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "support/parallel.hpp"
+#include "support/walltime.hpp"
 
 namespace tbp::service {
 namespace {
@@ -40,6 +42,7 @@ Status Daemon::open() {
   store::StoreOptions store_options;
   store_options.max_bytes = options_.store_max_bytes;
   store_options.create = true;
+  store_options.prof = options_.prof;
   auto candidate =
       std::make_unique<store::ContentStore>(store_dir, store_options);
   Status opened = candidate->open();
@@ -58,9 +61,16 @@ Result<std::size_t> Daemon::drain_once() {
       pending_requests(options_.spool_dir);
   if (!pending.has_value()) return pending.status();
 
+  // Lifecycle spans: an empty poll records nothing (serve() accounts the
+  // idle time as service.spool_wait), so the histograms hold only passes
+  // that did work.
+  prof::ProfSession* const prof_sink =
+      pending->empty() ? nullptr : options_.prof;
+
   std::size_t written = 0;
   const auto respond = [&](const std::string& id,
                            std::string_view bytes) -> Status {
+    prof::ScopedSpan span(prof_sink, "service.respond");
     Status wrote = write_response(options_.spool_dir, id, bytes);
     if (!wrote.ok()) return wrote;
     Status finished = finish_request(options_.spool_dir, id);
@@ -70,6 +80,7 @@ Result<std::size_t> Daemon::drain_once() {
     return Status();
   };
 
+  prof::ScopedSpan claim_span(prof_sink, "service.claim");
   std::vector<Admitted> admitted;
   for (const std::string& id : *pending) {
     Result<std::string> line = claim_request(options_.spool_dir, id);
@@ -91,9 +102,11 @@ Result<std::size_t> Daemon::drain_once() {
     item.fingerprint = spec_store_key(item.spec).id;
     admitted.push_back(std::move(item));
   }
+  claim_span.finish();
 
   // 3. Batch: collapse identical fingerprints into one group.  std::map
   // keeps group processing order deterministic (sorted by fingerprint).
+  prof::ScopedSpan dedup_span(prof_sink, "service.dedup");
   std::map<std::string, Group> groups;
   for (Admitted& item : admitted) {
     Group& group = groups[item.fingerprint];
@@ -105,8 +118,10 @@ Result<std::size_t> Daemon::drain_once() {
     }
     group.ids.push_back(std::move(item.id));
   }
+  dedup_span.finish();
 
   // 4. Probe the store; simulate only the missing groups.
+  prof::ScopedSpan probe_span(prof_sink, "service.probe");
   std::vector<Group*> missing;
   std::map<std::string, std::string> ready;  ///< fingerprint -> bytes
   for (auto& [fingerprint, group] : groups) {
@@ -119,6 +134,7 @@ Result<std::size_t> Daemon::drain_once() {
       missing.push_back(&group);
     }
   }
+  probe_span.finish();
 
   if (!missing.empty()) {
     // A lone group gets the whole worker budget inside its comparison;
@@ -128,23 +144,30 @@ Result<std::size_t> Daemon::drain_once() {
     std::vector<std::string> computed(missing.size());
     const std::size_t jobs = options_.jobs == 0 ? 1 : options_.jobs;
     if (missing.size() == 1) {
+      prof::ScopedSpan span(prof_sink, "service.simulate");
       const Group& group = *missing.front();
       computed[0] = spec_manifest_bytes(
-          group.spec, run_spec(group.spec, jobs, options_.sim_jobs));
+          group.spec,
+          run_spec(group.spec, jobs, options_.sim_jobs, options_.prof));
     } else {
       // tbp-lint: shard(worker)
       auto simulate_group = [&](std::size_t i) {
+        // ProfSession is thread-safe and a cold path (one span per group).
+        prof::ScopedSpan span(prof_sink, "service.simulate");
         const Group& group = *missing[i];
         computed[i] = spec_manifest_bytes(
-            group.spec, run_spec(group.spec, /*jobs=*/1, options_.sim_jobs));
+            group.spec, run_spec(group.spec, /*jobs=*/1, options_.sim_jobs,
+                                 options_.prof));
       };
       par::parallel_for(missing.size(), jobs, simulate_group);
     }
     stats_.simulations += missing.size();
+    prof::ScopedSpan write_span(prof_sink, "service.store_write");
     for (std::size_t i = 0; i < missing.size(); ++i) {
       Status put = store_->put(missing[i]->key, computed[i]);
       if (!put.ok()) return put;
     }
+    write_span.finish();
 
     // 5a. Computed groups: first id from the in-memory bytes, every
     // duplicate from the store — a cold N-duplicate batch therefore reads
@@ -185,14 +208,27 @@ Result<std::size_t> Daemon::drain_once() {
 Status Daemon::serve(const std::atomic<bool>& stop) {
   Status opened = open();
   if (!opened.ok()) return opened;
+  // One service.spool_wait span covers a whole idle stretch — from the
+  // first empty drain until the poll that finds work — not each poll tick.
+  prof::ProfSession* prof_sink = nullptr;
+  if constexpr (prof::kEnabled) prof_sink = options_.prof;
+  double idle_start = -1.0;
   while (!stop.load(std::memory_order_relaxed)) {
     Result<std::size_t> drained = drain_once();
     if (!drained.has_value()) return drained.status();
+    if (prof_sink != nullptr && *drained > 0 && idle_start >= 0.0) {
+      prof_sink->record_span("service.spool_wait", idle_start,
+                             timing::monotonic_seconds() - idle_start);
+      idle_start = -1.0;
+    }
     if (options_.max_requests != 0 &&
         stats_.responses >= options_.max_requests) {
       return Status();
     }
     if (*drained == 0) {
+      if (prof_sink != nullptr && idle_start < 0.0) {
+        idle_start = timing::monotonic_seconds();
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
     }
   }

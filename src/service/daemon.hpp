@@ -36,6 +36,10 @@
 #include "store/store.hpp"
 #include "support/status.hpp"
 
+namespace tbp::prof {
+class ProfSession;
+}  // namespace tbp::prof
+
 namespace tbp::service {
 
 struct DaemonOptions {
@@ -52,6 +56,12 @@ struct DaemonOptions {
   std::uint32_t poll_ms = 50;
   /// serve() exits after answering this many requests (0 = no limit).
   std::uint64_t max_requests = 0;
+  /// Wall-clock self-profiling sink (src/prof); also handed to the response
+  /// store for GC/rebuild timing.  Pure observer: request lifecycle spans
+  /// (spool wait, claim, dedup, probe, simulate, store write, respond) are
+  /// recorded into the session's latency histograms, and nothing flows back
+  /// into responses — they stay byte-identical with or without it.
+  prof::ProfSession* prof = nullptr;
 };
 
 /// Monotonic service counters (store.* counters live in the store).

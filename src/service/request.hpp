@@ -78,7 +78,8 @@ struct RequestSpec {
 // tbp-lint: shard(isolate)
 [[nodiscard]] harness::ExperimentRow run_spec(const RequestSpec& spec,
                                               std::size_t jobs,
-                                              std::uint32_t sim_jobs);
+                                              std::uint32_t sim_jobs,
+                                              prof::ProfSession* prof = nullptr);
 
 /// The sealed response document for a computed row: exactly the bytes
 /// `tbpoint_cli compare <spec flags> --manifest PATH` writes (pretty-

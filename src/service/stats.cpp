@@ -1,0 +1,41 @@
+#include "service/stats.hpp"
+
+#include <utility>
+
+#include "prof/sidecar.hpp"
+
+namespace tbp::service {
+
+obs::JsonValue service_stats_body(const ServiceStats& stats,
+                                  const store::StoreStats& store_stats,
+                                  const prof::ProfSession* prof) {
+  obs::JsonValue counters = obs::JsonValue::object();
+  counters.set("claimed", obs::JsonValue(stats.claimed));
+  counters.set("malformed", obs::JsonValue(stats.malformed));
+  counters.set("deduped", obs::JsonValue(stats.deduped));
+  counters.set("simulations", obs::JsonValue(stats.simulations));
+  counters.set("responses", obs::JsonValue(stats.responses));
+  counters.set("store_hits", obs::JsonValue(store_stats.hits));
+  counters.set("store_misses", obs::JsonValue(store_stats.misses));
+  counters.set("store_puts", obs::JsonValue(store_stats.puts));
+  counters.set("store_evictions", obs::JsonValue(store_stats.evictions));
+  counters.set("store_quarantined", obs::JsonValue(store_stats.quarantined));
+  counters.set("store_rebuilds", obs::JsonValue(store_stats.rebuilds));
+
+  obs::JsonValue body = obs::JsonValue::object();
+  body.set("counters", std::move(counters));
+  body.set("spans", prof != nullptr ? prof::spans_to_value(*prof)
+                                    : obs::JsonValue::object());
+  return body;
+}
+
+std::string service_stats_line(const obs::JsonValue& body) {
+  return obs::json_serialize(obs::seal_json(kServiceStatsSchema, body));
+}
+
+Status write_service_stats(const obs::JsonValue& body,
+                           const std::string& path) {
+  return obs::write_json_file(obs::seal_json(kServiceStatsSchema, body), path);
+}
+
+}  // namespace tbp::service

@@ -1,0 +1,51 @@
+// The sealed tbp-service-stats-v1 document: tbpointd's exit ledger.
+//
+// The daemon used to print a free-form one-line summary; this replaces it
+// with a sealed JSON document (same envelope as every other artifact:
+// canonical body + crc32 + schema tag) so the counters are machine-readable
+// and `tbp-report show` can pretty-print them.  Body shape:
+//
+//   {"counters": {"claimed": N, "malformed": N, "deduped": N,
+//                 "simulations": N, "responses": N,
+//                 "store_hits": N, "store_misses": N, "store_puts": N,
+//                 "store_evictions": N, "store_quarantined": N,
+//                 "store_rebuilds": N},
+//    "spans": {<prof span objects, see prof/sidecar.hpp>}}
+//
+// The counters block is deterministic for a fixed request multiset (the
+// service-smoke CI job greps it for exact values).  The spans block is
+// wall-clock data and appears only when a ProfSession was attached; its
+// fields follow the *_seconds suffix discipline the prof quarantine
+// requires.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/report.hpp"
+#include "service/daemon.hpp"
+#include "store/store.hpp"
+#include "support/status.hpp"
+
+namespace tbp::prof {
+class ProfSession;
+}  // namespace tbp::prof
+
+namespace tbp::service {
+
+inline constexpr std::string_view kServiceStatsSchema = "tbp-service-stats-v1";
+
+/// The unsealed stats body.  `prof` may be null (no spans block content).
+[[nodiscard]] obs::JsonValue service_stats_body(
+    const ServiceStats& stats, const store::StoreStats& store_stats,
+    const prof::ProfSession* prof = nullptr);
+
+/// Canonical (single-line, no whitespace) sealed rendering — the daemon's
+/// stdout ledger line.
+[[nodiscard]] std::string service_stats_line(const obs::JsonValue& body);
+
+/// Sealed pretty-printed document written atomically to `path`.
+[[nodiscard]] Status write_service_stats(const obs::JsonValue& body,
+                                         const std::string& path);
+
+}  // namespace tbp::service

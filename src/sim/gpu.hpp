@@ -18,6 +18,10 @@
 #include "support/status.hpp"
 #include "trace/kernel.hpp"
 
+namespace tbp::prof {
+class ProfSession;
+}  // namespace tbp::prof
+
 namespace tbp::sim {
 
 /// A fixed-size sampling unit (the Random / Ideal-SimPoint granularity):
@@ -116,6 +120,13 @@ struct RunOptions {
   std::uint32_t sim_jobs = 1;
   /// Metrics/timeline capture; ignored entirely in a TBP_OBS-off build.
   LaunchObservation observe;
+  /// Wall-clock self-profiling sink (src/prof).  A pure observer like
+  /// `observe`: the sharded engine absorbs per-SM busy and per-round worker
+  /// busy/wait times into the session, and nothing flows back into
+  /// simulated state — results stay byte-identical with the session
+  /// attached, detached, or compiled out (TBP_PROF=OFF).  Thread-safe, so
+  /// parallel launches may share one session.
+  prof::ProfSession* prof = nullptr;
 };
 
 class GpuSimulator {

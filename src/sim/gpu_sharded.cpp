@@ -31,8 +31,10 @@
 #include <utility>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "sim/launch_engine.hpp"
 #include "support/parallel.hpp"
+#include "support/walltime.hpp"
 
 namespace tbp::sim::detail {
 namespace {
@@ -124,6 +126,23 @@ Status run_sharded(LaunchEngine& eng) {
   const std::size_t n_workers =
       std::min<std::size_t>(eng.options.sim_jobs, n_sms);
 
+  // Wall-clock self-profiling (pure observer, src/prof): per-SM busy time
+  // and per-round worker busy slots, aggregated into a ShardSkew absorbed
+  // at launch end.  The round_busy slots follow the same barrier-ordered
+  // discipline as the epoch-scoped values above — each worker writes only
+  // its own slot during a round, the coordinator reads them between rounds
+  // — and nothing here feeds back into simulated state.
+  prof::ProfSession* prof_session = nullptr;
+  if constexpr (prof::kEnabled) prof_session = eng.options.prof;
+  prof::ShardSkew skew;
+  std::vector<double> round_busy;
+  if (prof_session != nullptr) {
+    skew.n_workers = static_cast<std::uint32_t>(n_workers);
+    skew.n_sms = n_sms;
+    skew.sm_busy_seconds.assign(n_sms, 0.0);
+    round_busy.assign(n_workers, 0.0);
+  }
+
   // Worker task: advance every SM in [lo, hi) to epoch_end, its retire
   // stop, or its final idle cycle.  Touches only per-SM state (the SM core,
   // its memory port, its shard entry), so shards never race.
@@ -132,10 +151,13 @@ Status run_sharded(LaunchEngine& eng) {
         static_cast<std::uint32_t>(worker * n_sms / n_workers);
     const std::uint32_t hi =
         static_cast<std::uint32_t>((worker + 1) * n_sms / n_workers);
+    if (prof_session != nullptr) round_busy[worker] = 0.0;
     for (std::uint32_t s = lo; s < hi; ++s) {
       SmShard& shard = shards[s];
       if (shard.finished || shard.retire_stopped) continue;
       SmCore& sm = eng.sms[s];
+      const double busy_start =
+          prof_session != nullptr ? timing::monotonic_seconds() : 0.0;
       while (shard.pos < epoch_end) {
         if (drain_mode && sm.idle()) {
           // Nothing left to dispatch and nothing resident: the SM is idle
@@ -160,6 +182,11 @@ Status run_sharded(LaunchEngine& eng) {
           shard.retire_stopped = true;
           break;
         }
+      }
+      if (prof_session != nullptr) {
+        const double busy = timing::monotonic_seconds() - busy_start;
+        skew.sm_busy_seconds[s] += busy;
+        round_busy[worker] += busy;
       }
     }
   };
@@ -237,7 +264,13 @@ Status run_sharded(LaunchEngine& eng) {
     dispatch_point(committed);
 
     for (;;) {
-      crew.round();
+      if (prof_session == nullptr) {
+        crew.round();
+      } else {
+        const double round_start = timing::monotonic_seconds();
+        crew.round();
+        skew.note_round(round_busy, timing::monotonic_seconds() - round_start);
+      }
 
       std::uint64_t sync = epoch_end;
       for (const SmShard& shard : shards) {
@@ -323,6 +356,7 @@ Status run_sharded(LaunchEngine& eng) {
     eng.sms[s].set_shard_logs(nullptr, nullptr);
   }
   eng.memory.set_shard_mode(false);
+  if (prof_session != nullptr) prof_session->absorb_skew(skew);
   return Status();
 }
 

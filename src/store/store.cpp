@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "prof/prof.hpp"
 #include "support/artifact.hpp"
 #include "support/atomic_file.hpp"
 #include "support/walltime.hpp"
@@ -430,6 +431,8 @@ Status ContentStore::load_index_locked(const std::string& text) {
 }
 
 Status ContentStore::rebuild_locked() {
+  // Wall-clock observer only (tbp-prof); never affects rebuild results.
+  prof::ScopedSpan span(options_.prof, "store.rebuild");
   index_.clear();
   total_bytes_ = 0;
   tick_ = 0;
@@ -531,6 +534,11 @@ void ContentStore::quarantine_locked(const std::string& id) {
 
 Status ContentStore::evict_until_within_budget_locked(
     const std::string& keep_id) {
+  // Span only when there is GC work: a within-budget put should not flood
+  // the store.evict histogram with no-op calls.
+  prof::ScopedSpan span(
+      total_bytes_ > options_.max_bytes ? options_.prof : nullptr,
+      "store.evict");
   while (total_bytes_ > options_.max_bytes && index_.size() > 1) {
     // Victim: least-recently-used entry, ties broken by key id (std::map
     // iteration order), never the entry just written.

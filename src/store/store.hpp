@@ -43,6 +43,10 @@
 #include "store/key.hpp"
 #include "support/status.hpp"
 
+namespace tbp::prof {
+class ProfSession;
+}  // namespace tbp::prof
+
 namespace tbp::store {
 
 struct StoreOptions {
@@ -56,6 +60,11 @@ struct StoreOptions {
   /// flush_metrics.  Off by default: latency is wall-clock data, and the
   /// default counters must stay byte-deterministic for the manifest tests.
   bool record_latency = false;
+  /// Wall-clock self-profiling sink (src/prof; null = off).  Pure observer:
+  /// GC/eviction passes and index rebuilds record store.evict /
+  /// store.rebuild spans into it, and nothing feeds back into store
+  /// contents or counters.
+  prof::ProfSession* prof = nullptr;
 };
 
 /// Monotonic operation counters; totals are order-independent, so they are

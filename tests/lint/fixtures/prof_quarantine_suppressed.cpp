@@ -1,0 +1,18 @@
+// Suppression forms for the prof rule family: a justified allow on the
+// include directive, plus same-line and own-line allows on quarantine
+// sinks, must all silence the findings.
+// tbp-lint: allow(prof-isolation) -- fixture exercising the include allow
+#include "prof/prof.hpp"
+
+struct Timer {
+  double seconds() const { return 0.0; }
+};
+struct Value {
+  void set(const char* key, double v);
+};
+
+void emit(Value& doc, const Timer& timer) {
+  doc.set("calibration", timer.seconds());  // tbp-lint: allow(prof-quarantine) -- calibration constant, never gated across runs
+  // tbp-lint: allow(prof-quarantine) -- debug-only field, stripped before sealing
+  doc.set("debug_wall", timer.seconds());
+}

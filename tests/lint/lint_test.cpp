@@ -46,6 +46,8 @@ LintConfig fixture_config() {
   config.shard_scope = {"tests/lint/fixtures/"};
   config.shard_guard_tokens = {"shard_mode_"};
   config.layer_ranks = {{"support", 0}, {"store", 5}};
+  config.prof_include_allowlist = {
+      "tests/lint/fixtures/prof_quarantine_clean.cpp"};
   return config;
 }
 
@@ -224,6 +226,46 @@ TEST(LintFixtures, LayeringDownwardIncludeIsClean) {
       diags.front(), OutputFormat::kText);
 }
 
+// --- prof isolation / quarantine ------------------------------------------
+
+TEST(LintFixtures, ProfQuarantineFlagsIncludeAndSinkSites) {
+  const auto diags = lint_fixture("prof_quarantine_violation.cpp");
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"prof-isolation", 4},    // prof/ include outside the allowlist
+      {"prof-quarantine", 16},  // timer.seconds() -> "predicted_ipc"
+      {"prof-quarantine", 17},  // timer.busy_seconds() -> "cycles"
+      {"prof-quarantine", 18},  // imbalance_ratio() -> "skew"
+  };
+  ASSERT_EQ(rule_lines(diags), expected);
+  EXPECT_NE(diags[0].message.find("prof/prof.hpp"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("predicted_ipc"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("seconds()"), std::string::npos);
+  EXPECT_NE(diags[3].message.find("imbalance_ratio"), std::string::npos);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_EQ(d.file, "tests/lint/fixtures/prof_quarantine_violation.cpp");
+  }
+}
+
+TEST(LintFixtures, ProfQuarantineCompliantFieldsAndAllowlistAreClean) {
+  const auto diags = lint_fixture("prof_quarantine_clean.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+TEST(LintFixtures, ProfQuarantineJustifiedAllowsSilenceBothForms) {
+  const auto diags = lint_fixture("prof_quarantine_suppressed.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
+TEST(LintFixtures, ProfIsolationSkipsFilesInsideSrcProf) {
+  const auto diags = lint_fixture_as("src/prof/prof_quarantine_clean.cpp",
+                                     "prof_quarantine_clean.cpp");
+  EXPECT_TRUE(diags.empty()) << tbp_lint::format_diagnostic(
+      diags.front(), OutputFormat::kText);
+}
+
 // --- lexer regressions ----------------------------------------------------
 
 TEST(LintFixtures, DigitSeparatorsDoNotDesyncTheLexer) {
@@ -269,6 +311,19 @@ TEST(LintLexer, RawStringIsConsumedAndLinesAreCounted) {
   ASSERT_FALSE(multi.tokens.empty());
   EXPECT_EQ(multi.tokens.back().text, "tail");
   EXPECT_EQ(multi.tokens.back().line, 3);
+}
+
+TEST(LintLexer, StringLiteralsCarryInteriorTextAsStringTokens) {
+  const tbp_lint::LexedFile lexed =
+      tbp_lint::lex("doc.set(\"wall_seconds\", rand_free);");
+  bool found = false;
+  for (const tbp_lint::Token& tok : lexed.tokens) {
+    if (tok.kind == tbp_lint::TokKind::kString) {
+      EXPECT_EQ(tok.text, "wall_seconds");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "string literal must surface as a kString token";
 }
 
 TEST(LintLexer, UnterminatedRawStringConsumesToEndWithoutLooping) {
@@ -334,7 +389,8 @@ TEST(LintOutput, RuleRegistryHasUniqueIdsCoveringEmittedRules) {
        {"determinism-rand", "determinism-clock", "determinism-time",
         "determinism-getenv", "unordered-iter", "nodiscard-status",
         "discarded-status", "pragma-once", "naked-new", "lint-suppression",
-        "shard-safety", "guarded-by", "layering"}) {
+        "shard-safety", "guarded-by", "layering", "prof-isolation",
+        "prof-quarantine"}) {
     EXPECT_EQ(ids.count(emitted), 1u) << emitted;
   }
 }

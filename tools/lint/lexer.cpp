@@ -125,6 +125,8 @@ class Lexer {
   }
 
   void string_literal(bool raw) {
+    const int start = line_;
+    std::string text;
     if (raw && peek() == 'R') advance();
     advance();  // opening quote
     if (raw) {
@@ -149,25 +151,27 @@ class Lexer {
       }
       if (!well_formed) {
         while (!eof() && peek() != '"' && peek() != '\n') {
-          if (peek() == '\\') advance();
-          if (!eof()) advance();
+          if (peek() == '\\') text.push_back(advance());
+          if (!eof()) text.push_back(advance());
         }
         if (!eof() && peek() == '"') advance();
-        line_has_token_ = true;
+        emit(TokKind::kString, std::move(text), start);
         return;
       }
       advance();  // '('
       const std::string closer = ")" + delim + "\"";
-      while (!eof() && src_.substr(pos_, closer.size()) != closer) advance();
+      while (!eof() && src_.substr(pos_, closer.size()) != closer) {
+        text.push_back(advance());
+      }
       for (std::size_t i = 0; i < closer.size() && !eof(); ++i) advance();
     } else {
       while (!eof() && peek() != '"' && peek() != '\n') {
-        if (peek() == '\\') advance();
-        if (!eof()) advance();
+        if (peek() == '\\') text.push_back(advance());
+        if (!eof()) text.push_back(advance());
       }
       if (!eof() && peek() == '"') advance();
     }
-    line_has_token_ = true;
+    emit(TokKind::kString, std::move(text), start);
   }
 
   void char_literal() {

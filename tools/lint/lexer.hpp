@@ -5,9 +5,11 @@
 // numbers, preprocessor directives kept opaque (so `#include <random>` can
 // never trip the determinism rules), and comments preserved separately so
 // the suppression syntax (`// tbp-lint: allow(rule) -- why`) can be read
-// back.  String/char literals are consumed and dropped for the same reason
-// directives are opaque: rule tables and log messages legitimately *name*
-// banned constructs.
+// back.  String literals carry their own token kind with the interior text
+// (the prof-quarantine sink rule reads `.set("key", ...)` keys) — they can
+// never trip the identifier rules, so rule tables and log messages may
+// legitimately *name* banned constructs.  Char literals are consumed and
+// dropped.
 #pragma once
 
 #include <string>
@@ -21,6 +23,7 @@ enum class TokKind {
   kNumber,      ///< pp-number (never inspected, kept for position fidelity)
   kPunct,       ///< one operator/punctuator; "::" and "->" are single tokens
   kDirective,   ///< a whole preprocessor line ("#pragma once", "#include ...")
+  kString,      ///< string literal; text is the interior, quotes stripped
 };
 
 struct Token {

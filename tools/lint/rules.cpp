@@ -266,6 +266,78 @@ void for_each_status_function(const Tokens& toks, Fn&& fn) {
 }
 
 // ---------------------------------------------------------------------------
+// prof-isolation / prof-quarantine rules
+
+/// The self-profiling quarantine (DESIGN.md "Self-profiling").  Two checks:
+///
+///  - prof-isolation: `#include "prof/..."` is legal only inside src/prof
+///    and the configured allowlist (the instrumented layers and the tools
+///    that render sidecars).  A module that cannot name a ProfSession
+///    cannot route a wall-clock reading into simulated results.
+///
+///  - prof-quarantine: at a sealed-artifact emission site
+///    `.set("key", <args>)`, a wall-clock getter inside the args — a
+///    member call named exactly `seconds`, or any call whose name ends in
+///    `_seconds`/`_ratio` — requires the key to also end in `_seconds` or
+///    `_ratio`.  Those suffixes are exactly what `tbp-report compare`
+///    classifies as wall-clock reporting fields, so timing can never flow
+///    into a field the manifests promise to keep byte-identical.
+void check_prof_quarantine(const std::string& path, const LexedFile& lexed,
+                           const LintConfig& config,
+                           std::vector<Diagnostic>* out) {
+  const Tokens& toks = lexed.tokens;
+
+  const bool include_ok = path.rfind("src/prof/", 0) == 0 ||
+                          path_matches(path, config.prof_include_allowlist);
+  if (!include_ok) {
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kDirective) continue;
+      const std::size_t inc = t.text.find("include");
+      if (inc == std::string::npos) continue;
+      const std::size_t open = t.text.find_first_of("\"<", inc);
+      if (open == std::string::npos) continue;
+      const char closer = t.text[open] == '"' ? '"' : '>';
+      const std::size_t close = t.text.find(closer, open + 1);
+      if (close == std::string::npos) continue;
+      const std::string target = t.text.substr(open + 1, close - open - 1);
+      if (target.rfind("prof/", 0) != 0) continue;
+      emit(out, path, t.line, "prof-isolation",
+           "include of '" + target +
+               "' outside the profiling allowlist; the wall-clock "
+               "self-profiling layer stays out of deterministic modules "
+               "(DESIGN.md \"Self-profiling\")");
+    }
+  }
+
+  const auto is_wallclock_name = [](const std::string& name) {
+    return name.ends_with("_seconds") || name.ends_with("_ratio");
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "set") || !member_access_before(toks, i)) continue;
+    const Token* open = at(toks, i + 1);
+    if (open == nullptr || !is_punct(*open, "(")) continue;
+    const Token* key = at(toks, i + 2);
+    if (key == nullptr || key->kind != TokKind::kString) continue;
+    if (is_wallclock_name(key->text)) continue;  // declared reporting field
+    const std::size_t close = skip_balanced(toks, i + 1, "(", ")");
+    for (std::size_t j = i + 3; j + 1 < close; ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokKind::kIdentifier) continue;
+      const Token* call = at(toks, j + 1);
+      if (call == nullptr || !is_punct(*call, "(")) continue;
+      const bool member_seconds =
+          t.text == "seconds" && member_access_before(toks, j);
+      if (!member_seconds && !is_wallclock_name(t.text)) continue;
+      emit(out, path, t.line, "prof-quarantine",
+           "wall-clock value '" + t.text + "()' flows into artifact field '" +
+               key->text +
+               "'; prof/walltime readings may only reach *_seconds/*_ratio "
+               "reporting fields (DESIGN.md \"Self-profiling\")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // hygiene rules
 
 void check_pragma_once(const std::string& path, const LexedFile& lexed,
@@ -327,6 +399,10 @@ const std::vector<RuleInfo>& rule_registry() {
        "TBP_GUARDED_BY field access outside a scope holding its mutex"},
       {"layering", Severity::kError,
        "include edge that violates the module DAG"},
+      {"prof-isolation", Severity::kError,
+       "prof/ include outside the profiling allowlist"},
+      {"prof-quarantine", Severity::kError,
+       "wall-clock value flowing into a non-*_seconds/*_ratio artifact field"},
       {"pragma-once", Severity::kError, "header missing #pragma once"},
       {"naked-new", Severity::kWarning,
        "naked new/delete outside the low-level allowlist"},
@@ -383,14 +459,23 @@ LintConfig default_config() {
   };
   config.shard_entry_files = {"src/sim/gpu_sharded.cpp"};
   config.shard_guard_tokens = {"shard_mode_", "issue_log_", "retire_log_"};
+  // Who may see the self-profiling layer: the instrumented subsystems
+  // (sharded engine, store, service, harness plumbing), the emitting
+  // binaries, and tests.  Everything else — trace, cluster, core, stats,
+  // the deterministic heart of the simulator — cannot even include it.
+  config.prof_include_allowlist = {
+      "src/sim/",     "src/store/", "src/service/", "src/harness/",
+      "tools/",       "bench/",     "tests/",
+  };
   // The measured module DAG (DESIGN.md "Static invariants"): an include is
   // legal within one module or from a higher rank to a strictly lower one.
   config.layer_ranks = {
       {"support", 0}, {"stats", 1},    {"trace", 2},     {"obs", 2},
-      {"markov", 3},  {"cluster", 3},  {"workloads", 3}, {"profile", 3},
-      {"sim", 3},     {"analytical", 4}, {"baselines", 4}, {"core", 4},
-      {"store", 5},   {"harness", 6},  {"fuzz", 7},      {"service", 7},
-      {"lint", 8},    {"tools", 9},    {"bench", 9},     {"tests", 10},
+      {"prof", 3},    {"markov", 4},   {"cluster", 4},   {"workloads", 4},
+      {"profile", 4}, {"sim", 4},      {"analytical", 5}, {"baselines", 5},
+      {"core", 5},    {"store", 6},    {"harness", 7},   {"fuzz", 8},
+      {"service", 8}, {"lint", 9},     {"tools", 10},    {"bench", 10},
+      {"tests", 11},
   };
   return config;
 }
@@ -408,6 +493,7 @@ bool is_header(const std::string& path) {
 void run_local_rules(const std::string& path, const LexedFile& lexed,
                      const LintConfig& config, std::vector<Diagnostic>* out) {
   check_determinism(path, lexed, config, out);
+  check_prof_quarantine(path, lexed, config, out);
   check_pragma_once(path, lexed, out);
   check_naked_new(path, lexed, config, out);
 }

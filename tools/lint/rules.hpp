@@ -73,6 +73,13 @@ struct LintConfig {
   /// route API must actually branch on (or write to) the shard plumbing.
   std::vector<std::string> shard_guard_tokens;
 
+  /// Files allowed to `#include "prof/..."` (prof-isolation): the
+  /// instrumented layers and the tools that render sidecars.  src/prof
+  /// itself is always allowed.  Keeps the wall-clock self-profiling layer
+  /// out of the deterministic core modules entirely — a module that cannot
+  /// name a ProfSession cannot leak a clock reading into results.
+  std::vector<std::string> prof_include_allowlist;
+
   /// Module → rank table for the layering pass: an include edge is legal
   /// only within one module or from a higher rank to a strictly lower one.
   /// Empty disables the pass.

@@ -958,7 +958,7 @@ bool parse_summary(const std::string& text, FileSummary* out) {
 }
 
 std::string config_fingerprint(const LintConfig& config) {
-  std::string s = "tbp-lint-config-v1";
+  std::string s = "tbp-lint-config-v2";
   const auto add = [&s](const std::vector<std::string>& v) {
     s += '|';
     for (const std::string& x : v) {
@@ -973,6 +973,7 @@ std::string config_fingerprint(const LintConfig& config) {
   add(config.shard_scope);
   add(config.shard_entry_files);
   add(config.shard_guard_tokens);
+  add(config.prof_include_allowlist);
   s += '|';
   for (const auto& [module, rank] : config.layer_ranks) {
     s += module;

@@ -11,6 +11,8 @@
 
 #include "harness/table.hpp"
 #include "obs/report.hpp"
+#include "prof/sidecar.hpp"
+#include "service/stats.hpp"
 #include "support/atomic_file.hpp"
 #include "support/status.hpp"
 
@@ -37,7 +39,8 @@ struct LoadedDoc {
     return Status(StatusCode::kCorrupt, path + ": missing schema member");
   }
   const std::string tag = schema->as_string();
-  if (tag != obs::kManifestSchema && tag != obs::kBenchPerfSchema) {
+  if (tag != obs::kManifestSchema && tag != obs::kBenchPerfSchema &&
+      tag != prof::kProfSchema && tag != service::kServiceStatsSchema) {
     return Status(StatusCode::kVersionMismatch, path + ": unknown schema '" + tag + "'");
   }
   Result<JsonValue> body = obs::open_json(*text, tag);
@@ -205,6 +208,133 @@ void print_bench_perf(const JsonValue& body, std::FILE* out) {
 }
 
 // ---------------------------------------------------------------------------
+// prof / service stats
+
+/// The wall-clock span table shared by tbp-prof-v1 sidecars and the spans
+/// block of tbp-service-stats-v1 ledgers: per-span count, total time and
+/// the latency percentiles the sidecar precomputed from its deterministic
+/// power-of-two microsecond buckets.
+void print_spans(const JsonValue& body, std::FILE* out) {
+  const JsonValue* spans = body.find("spans");
+  if (spans == nullptr || !spans->is_object() || spans->members().empty()) {
+    return;
+  }
+  std::fputs("\nwall-clock spans:\n", out);
+  harness::TablePrinter table(
+      {"span", "count", "total s", "p50 ms", "p95 ms", "p99 ms"});
+  for (const auto& [name, span] : spans->members()) {
+    table.add_row({
+        name,
+        std::to_string(static_cast<unsigned long long>(
+            num_member(span, "count"))),
+        harness::fmt(num_member(span, "total_seconds"), 3),
+        harness::fmt(num_member(span, "p50_seconds") * 1e3, 3),
+        harness::fmt(num_member(span, "p95_seconds") * 1e3, 3),
+        harness::fmt(num_member(span, "p99_seconds") * 1e3, 3),
+    });
+  }
+  table.print(out);
+}
+
+void print_service_stats(const JsonValue& body, std::FILE* out) {
+  const JsonValue* counters = body.find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    harness::TablePrinter table({"counter", "value"});
+    for (const auto& [key, value] : counters->members()) {
+      table.add_row({key, std::to_string(static_cast<unsigned long long>(
+                              value.as_u64()))});
+    }
+    table.print(out);
+  }
+  print_spans(body, out);
+}
+
+/// The load-skew view of a tbp-prof-v1 sidecar: per-worker busy/wait, the
+/// per-SM busy distribution (the ROADMAP work-stealing signal — which SMs a
+/// balanced partition would move), and the per-epoch imbalance histogram.
+void print_prof(const JsonValue& body, std::FILE* out) {
+  const JsonValue* skew = body.find("skew");
+  if (skew != nullptr && skew->is_object() &&
+      num_member(*skew, "rounds") > 0.0) {
+    std::fprintf(out,
+                 "shard skew: %llu rounds, %llu worker(s) over %llu SMs, "
+                 "wall %.3fs\n",
+                 static_cast<unsigned long long>(num_member(*skew, "rounds")),
+                 static_cast<unsigned long long>(
+                     num_member(*skew, "n_workers")),
+                 static_cast<unsigned long long>(num_member(*skew, "n_sms")),
+                 num_member(*skew, "wall_seconds"));
+    std::fprintf(out,
+                 "epoch imbalance (max worker busy / mean): "
+                 "max %.3f, mean %.3f\n",
+                 num_member(*skew, "max_imbalance_ratio"),
+                 num_member(*skew, "mean_imbalance_ratio"));
+
+    const JsonValue* busy = skew->find("worker_busy_seconds");
+    const JsonValue* wait = skew->find("worker_wait_seconds");
+    if (busy != nullptr && busy->is_array() && !busy->items().empty()) {
+      std::fputs("\nper-worker:\n", out);
+      harness::TablePrinter table({"worker", "busy s", "wait s", "wait%"});
+      for (std::size_t i = 0; i < busy->items().size(); ++i) {
+        const double b = busy->items()[i].as_double();
+        const double w = wait != nullptr && i < wait->items().size()
+                             ? wait->items()[i].as_double()
+                             : 0.0;
+        table.add_row({std::to_string(i), harness::fmt(b, 3),
+                       harness::fmt(w, 3),
+                       harness::fmt(b + w > 0.0 ? 100.0 * w / (b + w) : 0.0,
+                                    1)});
+      }
+      table.print(out);
+    }
+
+    const JsonValue* sm_busy = skew->find("sm_busy_seconds");
+    if (sm_busy != nullptr && sm_busy->is_array() &&
+        !sm_busy->items().empty()) {
+      double total = 0.0;
+      for (const JsonValue& v : sm_busy->items()) total += v.as_double();
+      std::fputs("\nper-SM busy (share of all SM busy time):\n", out);
+      harness::TablePrinter table({"SM", "busy s", "share%"});
+      for (std::size_t i = 0; i < sm_busy->items().size(); ++i) {
+        const double b = sm_busy->items()[i].as_double();
+        table.add_row({std::to_string(i), harness::fmt(b, 3),
+                       harness::fmt(total > 0.0 ? 100.0 * b / total : 0.0,
+                                    1)});
+      }
+      table.print(out);
+    }
+
+    const JsonValue* hist = skew->find("imbalance_milli");
+    const JsonValue* bounds = hist != nullptr ? hist->find("bounds") : nullptr;
+    const JsonValue* counts = hist != nullptr ? hist->find("counts") : nullptr;
+    if (bounds != nullptr && counts != nullptr && bounds->is_array() &&
+        counts->is_array()) {
+      std::string line;
+      for (std::size_t i = 0; i < counts->items().size(); ++i) {
+        const std::uint64_t n = counts->items()[i].as_u64();
+        if (n == 0) continue;
+        line += line.empty() ? "" : " ";
+        line += i < bounds->items().size()
+                    ? "<=" + std::to_string(bounds->items()[i].as_u64())
+                    : std::string(">") +
+                          std::to_string(
+                              bounds->items().back().as_u64());
+        line += ":" + std::to_string(static_cast<unsigned long long>(n));
+      }
+      if (!line.empty()) {
+        std::fprintf(out, "\nimbalance histogram (ratio x1000): %s\n",
+                     line.c_str());
+      }
+    }
+  } else {
+    std::fputs("shard skew: none recorded (serial engine or no sharded "
+               "launches)\n",
+               out);
+  }
+  print_spans(body, out);
+}
+
+// ---------------------------------------------------------------------------
 // compare
 
 enum class Direction : std::uint8_t {
@@ -221,6 +351,9 @@ enum class Direction : std::uint8_t {
 
 [[nodiscard]] Direction classify(std::string_view path) {
   if (ends_with(path, "seconds")) return Direction::kLowerBetter;
+  // Skew statistics (tbp-prof-v1): a perfectly balanced shard run scores
+  // 1.0; anything above is wasted barrier wait, so lower is better.
+  if (ends_with(path, "_ratio")) return Direction::kLowerBetter;
   if (ends_with(path, "per_second")) return Direction::kHigherBetter;
   if (ends_with(path, "hit_rate")) return Direction::kHigherBetter;
   if (ends_with(path, "error_pct") || ends_with(path, "_pct") ||
@@ -287,6 +420,14 @@ int cmd_show(const std::string& path, std::FILE* out) {
     print_store_counters(doc->body, out);
     return kExitOk;
   }
+  if (doc->schema == service::kServiceStatsSchema) {
+    print_service_stats(doc->body, out);
+    return kExitOk;
+  }
+  if (doc->schema == prof::kProfSchema) {
+    print_prof(doc->body, out);
+    return kExitOk;
+  }
   const JsonValue* tool = doc->body.find("tool");
   const JsonValue* command = doc->body.find("command");
   std::fprintf(out, "tool: %s %s\n",
@@ -295,6 +436,25 @@ int cmd_show(const std::string& path, std::FILE* out) {
   print_config(doc->body, out);
   print_store_counters(doc->body, out);
   print_workloads(doc->body, out);
+  return kExitOk;
+}
+
+int cmd_prof(const std::string& path, std::FILE* out) {
+  Result<LoadedDoc> doc = load_document(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "tbp-report: %s\n", doc.status().to_string().c_str());
+    return kExitUnreadable;
+  }
+  if (doc->schema != prof::kProfSchema) {
+    std::fprintf(stderr,
+                 "tbp-report: %s: expected a %s sidecar, got %s "
+                 "(use `tbp-report show` for other documents)\n",
+                 path.c_str(), std::string(prof::kProfSchema).c_str(),
+                 doc->schema.c_str());
+    return kExitUnreadable;
+  }
+  std::fprintf(out, "%s (%s)\n", path.c_str(), doc->schema.c_str());
+  print_prof(doc->body, out);
   return kExitOk;
 }
 
@@ -366,6 +526,7 @@ int cmd_compare(const std::string& old_path, const std::string& new_path,
 int run_report(const std::vector<std::string>& args, std::FILE* out) {
   static constexpr const char* kUsage =
       "usage: tbp-report show <file.json>\n"
+      "       tbp-report prof <prof.json>\n"
       "       tbp-report compare <old.json> <new.json> [--max-regress <pct>]\n";
   if (args.empty()) {
     std::fputs(kUsage, stderr);
@@ -378,6 +539,13 @@ int run_report(const std::vector<std::string>& args, std::FILE* out) {
       return kExitUnreadable;
     }
     return cmd_show(args[1], out);
+  }
+  if (command == "prof") {
+    if (args.size() != 2) {
+      std::fputs(kUsage, stderr);
+      return kExitUnreadable;
+    }
+    return cmd_prof(args[1], out);
   }
   if (command == "compare") {
     CompareOptions options;

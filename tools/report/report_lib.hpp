@@ -24,14 +24,23 @@ struct CompareOptions {
   double max_regress_pct = 10.0;
 };
 
-/// `tbp-report show <file>`: renders a manifest (tbp-manifest-v1) or a
-/// bench-perf document (tbp-bench-perf-v1) as tables on `out`.
+/// `tbp-report show <file>`: renders a manifest (tbp-manifest-v1), a
+/// bench-perf document (tbp-bench-perf-v1), a service ledger
+/// (tbp-service-stats-v1) or a self-profiling sidecar (tbp-prof-v1) as
+/// tables on `out`.
 [[nodiscard]] int cmd_show(const std::string& path, std::FILE* out);
+
+/// `tbp-report prof <file>`: the self-profiling view of a tbp-prof-v1
+/// sidecar — per-SM/per-worker shard load skew, the per-epoch imbalance
+/// histogram, and span latency percentiles (p50/p95/p99).
+[[nodiscard]] int cmd_prof(const std::string& path, std::FILE* out);
 
 /// `tbp-report compare <old> <new> --max-regress <pct>`: flattens both
 /// bodies to dotted numeric paths and gates the fields whose names declare
-/// a direction — *seconds (lower is better), *per_second / *hit_rate
-/// (higher is better), *error_pct / *err_ppb (lower absolute is better).
+/// a direction — *seconds / *_ratio (lower is better), *per_second /
+/// *hit_rate (higher is better), *error_pct / *err_ppb (lower absolute is
+/// better).  Two tbp-prof-v1 sidecars therefore gate skew-ratio
+/// regressions out of the box.
 /// Fields present in only one file are reported but never gate.
 [[nodiscard]] int cmd_compare(const std::string& old_path,
                               const std::string& new_path,

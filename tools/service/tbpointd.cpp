@@ -3,6 +3,7 @@
 //   tbpointd --spool DIR [--store DIR] [--store-max-bytes N]
 //            [--jobs N] [--sim-jobs N] [--poll-ms N]
 //            [--max-requests N] [--once] [--metrics PATH]
+//            [--stats PATH] [--prof PATH]
 //
 // Watches `<spool>/requests/` for tbp-request-v1 lines dropped by
 // tbp-client, answers each with a sealed tbp-manifest-v1 response in
@@ -14,6 +15,12 @@
 //   --once            drain the current inbox once and exit
 //   --max-requests N  exit after answering N requests (smoke tests)
 //   --metrics PATH    write service.* / store.* counters as JSON on exit
+//   --stats PATH      also write the sealed tbp-service-stats-v1 ledger here
+//   --prof PATH       wall-clock self-profiling: attach a ProfSession and
+//                     write the sealed tbp-prof-v1 sidecar on exit
+//
+// On exit the daemon prints its ledger as one sealed tbp-service-stats-v1
+// line on stdout (render it with `tbp-report show`).
 //
 // SIGINT/SIGTERM finish the in-flight drain pass, then exit cleanly (every
 // claimed request is answered; nothing is left half-done).
@@ -27,7 +34,10 @@
 
 #include "harness/cli.hpp"
 #include "obs/export.hpp"
+#include "prof/prof.hpp"
+#include "prof/sidecar.hpp"
 #include "service/daemon.hpp"
+#include "service/stats.hpp"
 #include "support/parallel.hpp"
 
 namespace {
@@ -42,7 +52,8 @@ void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
   std::fprintf(stderr,
                "usage: tbpointd --spool DIR [--store DIR] "
                "[--store-max-bytes N] [--jobs N] [--sim-jobs N] "
-               "[--poll-ms N] [--max-requests N] [--once] [--metrics PATH]\n");
+               "[--poll-ms N] [--max-requests N] [--once] [--metrics PATH] "
+               "[--stats PATH] [--prof PATH]\n");
   std::exit(2);
 }
 
@@ -84,6 +95,19 @@ int main(int argc, char** argv) {
   }
   par::set_global_jobs(options.jobs);
 
+  const std::string prof_path = harness::flag_value(argc, argv, "--prof", "");
+  std::unique_ptr<prof::ProfSession> prof_session;
+  if (!prof_path.empty()) {
+    if constexpr (prof::kEnabled) {
+      prof_session = std::make_unique<prof::ProfSession>();
+      options.prof = prof_session.get();
+    } else {
+      std::fprintf(stderr,
+                   "tbpointd: --prof ignored: self-profiling compiled out "
+                   "(TBP_PROF=OFF)\n");
+    }
+  }
+
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
 
@@ -114,17 +138,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  const service::ServiceStats stats = daemon.stats();
-  const store::StoreStats store_stats = daemon.response_store().stats();
-  std::printf("tbpointd: %llu claimed, %llu deduped, %llu simulated, "
-              "%llu answered (store: %llu hits, %llu misses, %llu evictions)\n",
-              static_cast<unsigned long long>(stats.claimed),
-              static_cast<unsigned long long>(stats.deduped),
-              static_cast<unsigned long long>(stats.simulations),
-              static_cast<unsigned long long>(stats.responses),
-              static_cast<unsigned long long>(store_stats.hits),
-              static_cast<unsigned long long>(store_stats.misses),
-              static_cast<unsigned long long>(store_stats.evictions));
+  // The exit ledger: one sealed tbp-service-stats-v1 line.  Machine-
+  // readable (CI greps exact counter values out of it), human-readable via
+  // `tbp-report show`.
+  const obs::JsonValue stats_body = service::service_stats_body(
+      daemon.stats(), daemon.response_store().stats(), prof_session.get());
+  std::printf("%s\n", service::service_stats_line(stats_body).c_str());
+
+  if (const std::string stats_path =
+          harness::flag_value(argc, argv, "--stats", "");
+      !stats_path.empty()) {
+    const Status wrote = service::write_service_stats(stats_body, stats_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "tbpointd: cannot write %s: %s\n",
+                   stats_path.c_str(), wrote.to_string().c_str());
+      return 1;
+    }
+    std::printf("tbpointd: wrote stats %s\n", stats_path.c_str());
+  }
+
+  if (prof_session != nullptr) {
+    const Status wrote = prof::write_prof_sidecar(*prof_session, prof_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "tbpointd: cannot write %s: %s\n",
+                   prof_path.c_str(), wrote.to_string().c_str());
+      return 1;
+    }
+    std::printf("tbpointd: wrote prof sidecar %s\n", prof_path.c_str());
+  }
 
   if (const std::string metrics_path =
           harness::flag_value(argc, argv, "--metrics", "");

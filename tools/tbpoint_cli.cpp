@@ -43,6 +43,13 @@
 // components; DESIGN.md "Accuracy attribution"); with --metrics the
 // decomposition is also exported as core.attr.* counters.
 //
+// compare and simulate also accept --prof PATH: a sealed tbp-prof-v1
+// self-profiling sidecar (wall-clock only — shard load skew under
+// --sim-jobs, stage latencies; render with `tbp-report prof`).  Attaching
+// it never changes results: the manifest bytes are identical with --prof
+// present, absent, or compiled out (TBP_PROF=OFF).  With --trace, the
+// timeline gains a "wall clock (tbp-prof)" track.
+//
 // --validate runs trace::validate_launch over every launch of the workload
 // before simulating and fails with the violation report if a trace breaks
 // the simulator's contract.  All numeric flag values are parsed strictly:
@@ -70,6 +77,8 @@
 #include "harness/cli.hpp"
 #include "harness/manifest.hpp"
 #include "obs/export.hpp"
+#include "prof/prof.hpp"
+#include "prof/sidecar.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "markov/monte_carlo.hpp"
@@ -177,6 +186,53 @@ struct CliObservation {
       }
     }
     return ok;
+  }
+};
+
+/// The --prof session for one subcommand; `session` is null without the
+/// flag, or when profiling is compiled out (after a stderr notice).
+struct CliProf {
+  std::string path;
+  std::unique_ptr<prof::ProfSession> session;
+
+  static CliProf from_flags(int argc, char** argv) {
+    CliProf out;
+    out.path = harness::flag_value(argc, argv, "--prof", "");
+    if (!out.path.empty()) {
+      if constexpr (prof::kEnabled) {
+        out.session = std::make_unique<prof::ProfSession>();
+      } else {
+        std::fprintf(stderr,
+                     "--prof ignored: self-profiling compiled out "
+                     "(TBP_PROF=OFF)\n");
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] prof::ProfSession* get() const noexcept {
+    return session.get();
+  }
+
+  /// Appends the wall-clock track to `observe` (when tracing) and writes
+  /// the sidecar; returns false after printing on failure.  Must run
+  /// before CliObservation::write so the track makes the trace file.
+  [[nodiscard]] bool write(obs::Observation* observe) const {
+    if (session == nullptr) return true;
+    if (observe != nullptr && observe->trace_on()) {
+      // '~' sorts after every simulator key: the track lands at the end of
+      // the merged trace.
+      prof::append_wall_clock_track(*session, observe->trace_buffer("~prof"));
+    }
+    const Status st = prof::write_prof_sidecar(*session, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                   st.to_string().c_str());
+      return false;
+    }
+    std::printf("wrote prof sidecar %s (render with: tbp-report prof %s)\n",
+                path.c_str(), path.c_str());
+    return true;
   }
 };
 
@@ -460,6 +516,8 @@ int cmd_compare(int argc, char** argv) {
   const sim::GpuConfig config = service::spec_gpu_config(spec);
   const CliObservation observation = CliObservation::from_flags(argc, argv);
   options.observe = observation.get();
+  const CliProf cli_prof = CliProf::from_flags(argc, argv);
+  options.prof = cli_prof.get();
   const harness::ExperimentRow row =
       harness::run_comparison(workload, config, options);
 
@@ -491,6 +549,7 @@ int cmd_compare(int argc, char** argv) {
   bool ok = write_cli_manifest(argc, argv, "compare",
                                service::spec_config_value(spec),
                                std::span(&row, 1), observation.get());
+  ok = cli_prof.write(observation.get()) && ok;
   ok = observation.write() && ok;
   return ok ? 0 : 1;
 }
@@ -505,9 +564,11 @@ int cmd_simulate(int argc, char** argv) {
   if (!validate_if_requested(argc, argv, workload)) return 1;
   const sim::GpuConfig config = config_from_flags(argc, argv);
   const CliObservation observation = CliObservation::from_flags(argc, argv);
+  const CliProf cli_prof = CliProf::from_flags(argc, argv);
 
   sim::RunOptions base_options;
   base_options.sim_jobs = sim_jobs_from_flags(argc, argv);
+  base_options.prof = cli_prof.get();
   base_options.max_cycles =
       flag_u64(argc, argv, "--max-cycles", base_options.max_cycles);
   base_options.stall_cycle_limit =
@@ -639,6 +700,9 @@ int cmd_simulate(int argc, char** argv) {
   if (!write_cli_manifest(argc, argv, "simulate",
                           cli_config_value(argc, argv, workload, config),
                           manifest_rows, observation.get())) {
+    exit_code = exit_code == 0 ? 1 : exit_code;
+  }
+  if (!cli_prof.write(observation.get())) {
     exit_code = exit_code == 0 ? 1 : exit_code;
   }
   if (!observation.write()) exit_code = exit_code == 0 ? 1 : exit_code;
